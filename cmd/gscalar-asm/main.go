@@ -1,0 +1,81 @@
+// Command gscalar-asm assembles a .gasm file, reporting errors, statistics
+// and (optionally) the disassembly with resolved reconvergence points, or
+// runs the kernel on the functional interpreter.
+//
+// Usage:
+//
+//	gscalar-asm [-d] [-run|-profile|-trace N] [-grid N -block N -shared N] file.gasm
+//	gscalar-asm -d -           (read from stdin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gscalar"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "print disassembly with reconvergence points")
+	run := flag.Bool("run", false, "run the kernel on the functional interpreter")
+	prof := flag.Bool("profile", false, "profile the kernel: annotated listing with per-PC counts")
+	trace := flag.Int("trace", 0, "print an instruction trace of up to N events")
+	grid := flag.Int("grid", 1, "grid size (CTAs) for -run")
+	block := flag.Int("block", 32, "CTA size (threads) for -run")
+	shared := flag.Int("shared", 0, "shared memory bytes per CTA for -run")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gscalar-asm [-d] [-run] file.gasm")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	prog, err := gscalar.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d instructions\n", prog.Name(), prog.Len())
+	if *dis {
+		fmt.Print(prog.Disassemble())
+	}
+	if *run {
+		mem := gscalar.NewMemory()
+		launch := gscalar.Launch{GridX: *grid, BlockX: *block, SharedBytes: *shared}
+		if err := gscalar.RunFunctional(prog, launch, mem); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("functional run ok: %d threads\n", *grid**block)
+	}
+	if *prof {
+		launch := gscalar.Launch{GridX: *grid, BlockX: *block, SharedBytes: *shared}
+		out, err := gscalar.ProfileKernel(prog, launch, gscalar.NewMemory())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	}
+	if *trace > 0 {
+		launch := gscalar.Launch{GridX: *grid, BlockX: *block, SharedBytes: *shared}
+		if err := gscalar.TraceKernel(os.Stdout, prog, launch, gscalar.NewMemory(), *trace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gscalar-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,196 @@
+// Command gscalar-experiments regenerates the tables and figures of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	gscalar-experiments [-exp all|fig1|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|moves]
+//	                    [-scale N] [-sms N] [-bench BP,LBM,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gscalar"
+	"gscalar/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig8, fig9, fig10, fig11, fig12, table1, table2, table3, moves, compiler, half, scalarbank, width, sched)")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	sms := flag.Int("sms", 0, "override number of SMs (0 = Table 1 value)")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	flag.Parse()
+
+	cfg := gscalar.DefaultConfig()
+	if *sms > 0 {
+		cfg.NumSMs = *sms
+	}
+	opts := experiments.Options{Config: cfg, Scale: *scale}
+	if *bench != "" {
+		opts.Workloads = strings.Split(*bench, ",")
+	}
+	suite := experiments.NewSuite(opts)
+
+	if err := run(suite, cfg, strings.ToLower(*exp), *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "gscalar-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// writeCSV writes one CSV artifact if -csv was given.
+func writeCSV(dir, name, content string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}
+
+func run(s *experiments.Suite, cfg gscalar.Config, exp, csvDir string) error {
+	wants := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if wants("table1") {
+		fmt.Println(experiments.FormatTable1(cfg))
+		ran = true
+	}
+	if wants("table2") {
+		fmt.Println(experiments.FormatTable2())
+		ran = true
+	}
+	if wants("table3") {
+		fmt.Println(experiments.FormatTable3())
+		ran = true
+	}
+	if wants("fig1") {
+		rows, err := s.Fig1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig1(rows))
+		if err := writeCSV(csvDir, "fig1.csv", experiments.Fig1CSV(rows)); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("fig8") {
+		rows, err := s.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig8(rows))
+		if err := writeCSV(csvDir, "fig8.csv", experiments.Fig8CSV(rows)); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("fig9") {
+		rows, err := s.Fig9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig9(rows))
+		if err := writeCSV(csvDir, "fig9.csv", experiments.Fig9CSV(rows)); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("fig10") {
+		rows, err := s.Fig10()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig10(rows))
+		if err := writeCSV(csvDir, "fig10.csv", experiments.Fig10CSV(rows)); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("fig11") {
+		rows, err := s.Fig11()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig11(rows))
+		if err := writeCSV(csvDir, "fig11.csv", experiments.Fig11CSV(rows)); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("fig12") {
+		rows, err := s.Fig12()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig12(rows))
+		if err := writeCSV(csvDir, "fig12.csv", experiments.Fig12CSV(rows)); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("moves") {
+		rows, err := s.MoveOverhead()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatMoveOverhead(rows))
+		if err := writeCSV(csvDir, "moves.csv", experiments.MovesCSV(rows)); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("compiler") {
+		rows, err := s.CompilerScalar()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCompilerScalar(rows))
+		ran = true
+	}
+	if wants("half") {
+		rows, err := s.HalfAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatHalfAblation(rows))
+		ran = true
+	}
+	if wants("width") {
+		rows, err := s.WidthSweep([]int{8, 16, 24, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatWidthSweep(rows))
+		if err := writeCSV(csvDir, "width.csv", experiments.WidthCSV(rows)); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("sched") {
+		rows, err := s.SchedAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSched(rows))
+		ran = true
+	}
+	if wants("scalarbank") {
+		rows, err := s.ScalarBankAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatScalarBank(rows))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

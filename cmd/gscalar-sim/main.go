@@ -1,0 +1,127 @@
+// Command gscalar-sim runs one Table 2 benchmark under one architecture and
+// prints the detailed simulation result: cycles, IPC, power and its
+// component shares, scalar-eligibility decomposition, RF access classes,
+// and compression statistics.
+//
+// Usage:
+//
+//	gscalar-sim -bench BP [-arch gscalar] [-scale 1] [-sms 15] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gscalar"
+)
+
+var archByName = map[string]gscalar.Arch{
+	"baseline":           gscalar.Baseline,
+	"alu-scalar":         gscalar.ALUScalar,
+	"warped-compression": gscalar.WarpedCompression,
+	"rvc-only":           gscalar.RVCOnly,
+	"gscalar-nodiv":      gscalar.GScalarNoDiv,
+	"gscalar":            gscalar.GScalar,
+}
+
+func main() {
+	bench := flag.String("bench", "", "benchmark abbreviation (see -list)")
+	archName := flag.String("arch", "gscalar", "architecture: baseline, alu-scalar, warped-compression, rvc-only, gscalar-nodiv, gscalar")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	sms := flag.Int("sms", 0, "override number of SMs")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	breakdown := flag.Bool("breakdown", false, "print the per-component power breakdown")
+	all := flag.Bool("all", false, "run every Table 2 benchmark and print a summary table")
+	flag.Parse()
+
+	if *list {
+		for _, abbr := range gscalar.Workloads() {
+			w, _ := gscalar.WorkloadByAbbr(abbr)
+			fmt.Printf("%-4s %-11s %-8s %s\n", w.Abbr, w.Name, w.Suite, w.Desc)
+		}
+		return
+	}
+	arch, ok := archByName[*archName]
+	if !ok {
+		fatal(fmt.Errorf("unknown architecture %q", *archName))
+	}
+	if *all {
+		runAll(arch, *scale, *sms)
+		return
+	}
+	if *bench == "" {
+		fatal(fmt.Errorf("missing -bench (use -list to see options)"))
+	}
+	cfg := gscalar.DefaultConfig()
+	if *sms > 0 {
+		cfg.NumSMs = *sms
+	}
+	res, err := gscalar.RunWorkload(cfg, arch, *bench, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s (scale %d, %d SMs)\n", *bench, arch, *scale, cfg.NumSMs)
+	fmt.Printf("  cycles           %d\n", res.Cycles)
+	fmt.Printf("  warp insts       %d (+%d injected moves, %.2f%%)\n",
+		res.WarpInsts, uint64(res.MoveOverhead*float64(res.WarpInsts)), 100*res.MoveOverhead)
+	fmt.Printf("  IPC              %.3f\n", res.IPC)
+	fmt.Printf("  power            %.1f W (exec %.1f%%, RF %.1f%%)\n",
+		res.PowerW, 100*res.ExecPowerShare, 100*res.RFPowerShare)
+	fmt.Printf("  IPC/W            %.4f\n", res.IPCPerW)
+	fmt.Printf("  energy           %.4f J (RF dynamic %.4f J)\n", res.EnergyJ, res.RFDynamicJ)
+	fmt.Printf("  divergent        %.1f%% (value-scalar %.1f%%)\n",
+		100*res.FracDivergent, 100*res.FracDivergentScalar)
+	e := res.Eligibility
+	fmt.Printf("  scalar eligible  %.1f%% (ALU %.1f%%, SFU %.1f%%, mem %.1f%%, half %.1f%%, divergent %.1f%%)\n",
+		100*e.Total(), 100*e.ALU, 100*e.SFU, 100*e.Mem, 100*e.Half, 100*e.Divergent)
+	d := res.RFAccess
+	fmt.Printf("  RF reads         scalar %.1f%%, 3B %.1f%%, 2B %.1f%%, 1B %.1f%%, none %.1f%%, divergent %.1f%%\n",
+		100*d.Scalar, 100*d.B3, 100*d.B2, 100*d.B1, 100*d.None, 100*d.Divergent)
+	fmt.Printf("  compression      %.2fx\n", res.CompressionRatio)
+	fmt.Printf("  L1 miss rate     %.1f%%; DRAM transactions %d\n", 100*res.L1MissRate, res.DRAMTransactions)
+	if *breakdown {
+		fmt.Println("  power by component:")
+		type kv struct {
+			name string
+			w    float64
+		}
+		var comps []kv
+		for name, w := range res.PowerByComponent {
+			comps = append(comps, kv{name, w})
+		}
+		sort.Slice(comps, func(i, j int) bool { return comps[i].w > comps[j].w })
+		for _, c := range comps {
+			if c.w < 0.005 {
+				continue
+			}
+			fmt.Printf("    %-14s %7.2f W (%4.1f%%)\n", c.name, c.w, 100*c.w/res.PowerW)
+		}
+	}
+}
+
+// runAll prints a one-line summary per benchmark.
+func runAll(arch gscalar.Arch, scale, sms int) {
+	cfg := gscalar.DefaultConfig()
+	if sms > 0 {
+		cfg.NumSMs = sms
+	}
+	fmt.Printf("%-4s %8s %10s %7s %8s %9s %8s %7s\n",
+		"sim", "cycles", "warpinsts", "IPC", "power(W)", "IPC/W", "eligible", "diverg")
+	for _, abbr := range gscalar.Workloads() {
+		res, err := gscalar.RunWorkload(cfg, arch, abbr, scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-4s %8d %10d %7.2f %8.1f %9.5f %7.1f%% %6.1f%%\n",
+			abbr, res.Cycles, res.WarpInsts, res.IPC, res.PowerW, res.IPCPerW,
+			100*res.Eligibility.Total(), 100*res.FracDivergent)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gscalar-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Divergence: demonstrates scalar execution of *divergent* instructions —
+// the paper's headline generalisation (§4.2). A kernel with a
+// data-dependent branch runs a uniform-constant chain on one side; the
+// example shows how much of the dynamic instruction stream each
+// architecture can scalarise, and the resulting efficiency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"gscalar"
+)
+
+// The saturate path operates entirely on uniform constants: every one of
+// its instructions is a "divergent scalar" instruction — uniform across
+// the active lanes — which only G-Scalar can execute on a single lane.
+const kernel = `
+.kernel clamp_scale
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1
+	shl   r3, r2, 2
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                 // v (per thread)
+	mov   r6, $1                   // limit (uniform)
+	mov   r7, $2                   // gain  (uniform)
+	fsetp.gt p0, r5, r6            // over the limit?
+	@p0 bra SATURATE
+	fmul  r8, r5, r7               // in-range: per-thread scaling
+	ffma  r8, r5, 0.125, r8
+	bra STORE
+SATURATE:
+	fmul  r8, r6, r7               // uniform chain: divergent scalar
+	fadd  r8, r8, r6
+	fmul  r9, r8, 0.5
+	ffma  r8, r9, 0.25, r8
+STORE:
+	stg   [r4], r8
+	exit
+`
+
+func main() {
+	prog, err := gscalar.Assemble(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 131072
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(i%100) * 0.02 // ~half the lanes saturate
+	}
+
+	cfg := gscalar.DefaultConfig()
+	fmt.Println("architecture        divergent  div-scalar  eligible   IPC/W")
+	var base float64
+	for _, arch := range []gscalar.Arch{gscalar.Baseline, gscalar.ALUScalar, gscalar.GScalarNoDiv, gscalar.GScalar} {
+		mem := gscalar.NewMemory()
+		vb := mem.AllocF32(vals)
+		launch := gscalar.Launch{
+			GridX: n / 256, BlockX: 256,
+			Params: []uint32{vb, math.Float32bits(1.0), math.Float32bits(3.0)},
+		}
+		res, err := gscalar.Run(cfg, arch, prog, launch, mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if arch == gscalar.Baseline {
+			base = res.IPCPerW
+		}
+		fmt.Printf("%-18s  %8.1f%%  %9.1f%%  %7.1f%%   %.4f (%.2fx)\n",
+			arch, 100*res.FracDivergent, 100*res.Eligibility.Divergent,
+			100*res.Eligibility.Total(), res.IPCPerW, res.IPCPerW/base)
+	}
+	fmt.Println("\nOnly G-Scalar scalarises the divergent saturate path: prior")
+	fmt.Println("architectures leave every divergent instruction on all lanes.")
+}

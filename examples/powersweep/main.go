@@ -1,0 +1,49 @@
+// Powersweep: runs a Table 2 benchmark across every architecture and warp
+// size, printing the full efficiency picture — a one-benchmark slice of
+// Figures 9, 10 and 11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gscalar"
+)
+
+func main() {
+	bench := flag.String("bench", "BP", "Table 2 benchmark abbreviation")
+	flag.Parse()
+
+	info, ok := gscalar.WorkloadByAbbr(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (options: %v)", *bench, gscalar.Workloads())
+	}
+	fmt.Printf("%s — %s (%s): %s\n\n", info.Abbr, info.Name, info.Suite, info.Desc)
+
+	cfg := gscalar.DefaultConfig()
+	fmt.Println("architecture        IPC     power(W)  IPC/W    vs base  eligible")
+	var base float64
+	for _, arch := range gscalar.AllArchs() {
+		res, err := gscalar.RunWorkload(cfg, arch, *bench, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if arch == gscalar.Baseline {
+			base = res.IPCPerW
+		}
+		fmt.Printf("%-18s  %-6.2f  %-8.1f  %-7.4f  %-7.3f  %5.1f%%\n",
+			arch, res.IPC, res.PowerW, res.IPCPerW, res.IPCPerW/base,
+			100*res.Eligibility.Total())
+	}
+
+	fmt.Println("\nwarp-size sweep (16-thread checking granularity, Figure 10):")
+	sweep, err := gscalar.RunWarpSizeSweep(cfg, *bench, []int{32, 64}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range sweep {
+		fmt.Printf("  warp=%2d: half/quarter-scalar %.1f%%, total scalar-eligible %.1f%%\n",
+			pt.WarpSize, 100*pt.HalfFrac, 100*pt.TotalFrac)
+	}
+}

@@ -1,0 +1,3 @@
+module gscalar
+
+go 1.22

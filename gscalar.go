@@ -1,0 +1,286 @@
+// Package gscalar is a cycle-level GPU simulator reproducing "G-Scalar:
+// Cost-Effective Generalized Scalar Execution Architecture for
+// Power-Efficient GPUs" (Liu, Gilani, Annavaram, Kim — HPCA 2017).
+//
+// It models a GTX-480-class GPU (15 SMs, 16-bank register file, 2×16-lane
+// ALU + 16-lane memory + 4-lane SFU pipelines) with an event-energy power
+// model, and implements the paper's byte-wise register value compression
+// and generalized scalar execution (including divergent and half-warp
+// scalar), alongside the prior-work comparators it is evaluated against:
+// the scalar-register-file architecture (Gilani et al., HPCA'13) and
+// BDI-based Warped-Compression (Lee et al., ISCA'15).
+//
+// Quick start:
+//
+//	cfg := gscalar.DefaultConfig()
+//	res, err := gscalar.RunWorkload(cfg, gscalar.GScalar, "BP", 1)
+//	fmt.Printf("IPC/W improvement: %.2fx\n", res.IPCPerW/base.IPCPerW)
+//
+// Custom kernels are written in .gasm assembly (see package documentation
+// of internal/asm for the grammar) and run via Assemble / NewMemory / Run.
+package gscalar
+
+import (
+	"fmt"
+
+	"gscalar/internal/core"
+	"gscalar/internal/gpu"
+	"gscalar/internal/kernel"
+	"gscalar/internal/power"
+	"gscalar/internal/sm"
+)
+
+// Arch selects the simulated architecture.
+type Arch int
+
+// Architectures, in the order the paper's figures present them.
+const (
+	// Baseline is the unmodified GTX-480-like GPU.
+	Baseline Arch = iota
+	// ALUScalar is the prior scalar-register-file architecture (Gilani et
+	// al. [3]): scalar execution of non-divergent arithmetic/logic
+	// instructions only, with a single dedicated scalar bank.
+	ALUScalar
+	// WarpedCompression is BDI register compression (Lee et al. [4]),
+	// Figure 12's "W-C" — no scalar execution.
+	WarpedCompression
+	// RVCOnly is the paper's byte-wise register value compression without
+	// scalar execution (Figure 12's "ours").
+	RVCOnly
+	// GScalarNoDiv is G-Scalar without divergent/half-warp scalar
+	// execution (Figure 11's "G-Scalar w/o divergent").
+	GScalarNoDiv
+	// GScalar is the full architecture: compression + scalar execution of
+	// ALU, SFU and memory instructions, half-warp scalar, and divergent
+	// scalar.
+	GScalar
+)
+
+var archNames = [...]string{
+	"baseline", "alu-scalar", "warped-compression", "rvc-only",
+	"gscalar-nodiv", "gscalar",
+}
+
+// String returns the architecture's short name.
+func (a Arch) String() string {
+	if int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return fmt.Sprintf("arch(%d)", int(a))
+}
+
+// AllArchs lists every architecture in presentation order.
+func AllArchs() []Arch {
+	return []Arch{Baseline, ALUScalar, WarpedCompression, RVCOnly, GScalarNoDiv, GScalar}
+}
+
+// model maps the public Arch to the SM-level architecture overlay.
+func (a Arch) model() sm.Arch {
+	switch a {
+	case ALUScalar:
+		return sm.PriorScalarRF()
+	case WarpedCompression:
+		return sm.WarpedCompression()
+	case RVCOnly:
+		return sm.RVCOnly()
+	case GScalarNoDiv:
+		return sm.GScalarNoDiv()
+	case GScalar:
+		return sm.GScalar()
+	default:
+		return sm.Baseline()
+	}
+}
+
+// Config is the simulated chip configuration (Table 1 of the paper).
+type Config struct {
+	NumSMs          int     // streaming multiprocessors (Table 1: 15)
+	CoreClockHz     float64 // SM clock (Table 1: 1.4 GHz)
+	WarpSize        int     // threads per warp (Table 1: 32)
+	SchedulersPerSM int     // warp schedulers (Table 1: 2)
+	MaxWarpsPerSM   int     // resident warps (Table 1: 1536 threads / 32)
+	MaxCTAsPerSM    int     // resident CTAs (Table 1: 8)
+	RegFileKB       int     // register file per SM (Table 1: 128 KB)
+	RegFileBanks    int     // register-file banks (Table 1: 16)
+	CollectorsPerSM int     // operand collectors (Table 1: 16)
+	SIMTWidth       int     // execution-pipeline width (Table 1: 16)
+	L1Bytes         int     // L1 data cache per SM (Table 1: 16 KB)
+	L2Bytes         int     // shared L2 (Table 1: 768 KB)
+	MemChannels     int     // DRAM channels (Table 1: 6)
+	MaxCycles       uint64  // abort bound; 0 = default
+}
+
+// DefaultConfig returns the Table 1 configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumSMs:          15,
+		CoreClockHz:     1.4e9,
+		WarpSize:        32,
+		SchedulersPerSM: 2,
+		MaxWarpsPerSM:   48,
+		MaxCTAsPerSM:    8,
+		RegFileKB:       128,
+		RegFileBanks:    16,
+		CollectorsPerSM: 16,
+		SIMTWidth:       16,
+		L1Bytes:         16 << 10,
+		L2Bytes:         768 << 10,
+		MemChannels:     6,
+	}
+}
+
+// toGPU lowers the public config to the internal chip config.
+func (c Config) toGPU() gpu.Config {
+	g := gpu.DefaultConfig()
+	g.NumSMs = c.NumSMs
+	g.CoreClockHz = c.CoreClockHz
+	g.L2Bytes = c.L2Bytes
+	g.MaxCycles = c.MaxCycles
+	g.MemTiming.NumChannels = c.MemChannels
+	g.SM.WarpSize = c.WarpSize
+	g.SM.Schedulers = c.SchedulersPerSM
+	g.SM.MaxWarps = c.MaxWarpsPerSM
+	g.SM.MaxCTAs = c.MaxCTAsPerSM
+	g.SM.NumBanks = c.RegFileBanks
+	g.SM.RegFileBytes = c.RegFileKB << 10
+	g.SM.NumCollectors = c.CollectorsPerSM
+	g.SM.ALUWidth = c.SIMTWidth
+	g.SM.MemWidth = c.SIMTWidth
+	g.SM.L1Bytes = c.L1Bytes
+	return g
+}
+
+// Eligibility is the Figure 9 decomposition: fractions of committed
+// instructions eligible for each kind of scalar execution.
+type Eligibility struct {
+	ALU       float64 // non-divergent arithmetic/logic ("ALU scalar")
+	SFU       float64 // special-function, atop ALU scalar
+	Mem       float64 // memory, atop ALU scalar
+	Half      float64 // half-warp scalar (§4.3)
+	Divergent float64 // divergent scalar (§4.2)
+}
+
+// Total returns the overall scalar-eligible fraction.
+func (e Eligibility) Total() float64 { return e.ALU + e.SFU + e.Mem + e.Half + e.Divergent }
+
+// RFAccessDist is the Figure 8 register-file read-class distribution.
+type RFAccessDist struct {
+	Scalar, B3, B2, B1, None, Divergent float64
+}
+
+// Result summarises one simulated launch.
+type Result struct {
+	Cycles      uint64
+	WarpInsts   uint64
+	ThreadInsts uint64
+	IPC         float64 // warp instructions per cycle, chip-wide
+	PowerW      float64
+	IPCPerW     float64 // the paper's power-efficiency metric
+	EnergyJ     float64
+
+	ExecPowerShare float64 // execution-unit share of chip power
+	RFPowerShare   float64 // register-file aggregate share of chip power
+	RFDynamicJ     float64 // RF dynamic energy (Figure 12's metric)
+
+	FracDivergent       float64 // Figure 1: divergent instructions / total
+	FracDivergentScalar float64 // Figure 1: value-uniform divergent / total
+	Eligibility         Eligibility
+	RFAccess            RFAccessDist
+	CompressionRatio    float64
+	MoveOverhead        float64 // §3.3 injected decompress moves / total
+
+	L1MissRate       float64
+	DRAMTransactions uint64
+
+	// PowerByComponent maps component names ("exec_alu", "rf_array",
+	// "dram", "static", ...) to watts.
+	PowerByComponent map[string]float64
+}
+
+// resultFrom converts an internal run result.
+func resultFrom(r gpu.Result) Result {
+	st := &r.Stats
+	total := float64(st.WarpInsts)
+	if total == 0 {
+		total = 1
+	}
+	out := Result{
+		Cycles:      r.Cycles,
+		WarpInsts:   st.WarpInsts,
+		ThreadInsts: st.ThreadInsts,
+		IPC:         r.IPC,
+		PowerW:      r.Power.AvgPowerW,
+		IPCPerW:     r.IPCPerW,
+		EnergyJ:     r.EnergyJ,
+
+		ExecPowerShare: r.Power.ExecShare(),
+		RFPowerShare:   r.Power.RFShare(),
+		RFDynamicJ: (r.Power.PerComp[power.CompRFArray] +
+			r.Power.PerComp[power.CompRFCrossbar] +
+			r.Power.PerComp[power.CompRFBVR] +
+			r.Power.PerComp[power.CompRFScalarBank] +
+			r.Power.PerComp[power.CompCodec]) * r.Power.Seconds,
+
+		FracDivergent:       st.FracDivergent(),
+		FracDivergentScalar: st.FracDivergentScalar(),
+		Eligibility: Eligibility{
+			ALU:       float64(st.EligFullALU) / total,
+			SFU:       float64(st.EligFullSFU) / total,
+			Mem:       float64(st.EligFullMem) / total,
+			Half:      float64(st.EligHalf) / total,
+			Divergent: float64(st.EligDiv) / total,
+		},
+		RFAccess: RFAccessDist{
+			Scalar:    st.RFReadFrac(core.AccessScalar),
+			B3:        st.RFReadFrac(core.Access3Byte),
+			B2:        st.RFReadFrac(core.Access2Byte),
+			B1:        st.RFReadFrac(core.Access1Byte),
+			None:      st.RFReadFrac(core.AccessNone),
+			Divergent: st.RFReadFrac(core.AccessDivergent),
+		},
+		CompressionRatio: st.CompressionRatio(),
+		MoveOverhead:     st.MoveOverhead(),
+		DRAMTransactions: st.DRAMTransactions,
+	}
+	if st.L1Accesses > 0 {
+		out.L1MissRate = float64(st.L1Misses) / float64(st.L1Accesses)
+	}
+	out.PowerByComponent = make(map[string]float64, power.NumComponents)
+	for c := power.Component(0); c < power.NumComponents; c++ {
+		out.PowerByComponent[c.String()] = r.Power.PerComp[c]
+	}
+	return out
+}
+
+// Run simulates an assembled program under arch.
+func Run(cfg Config, arch Arch, prog *Program, launch Launch, mem *Memory) (Result, error) {
+	lc, err := launch.toKernel()
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := gpu.Run(cfg.toGPU(), arch.model(), prog.p, lc, mem.m)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFrom(r), nil
+}
+
+// kernelLaunch adapts Launch to the internal type.
+func (l Launch) toKernel() (*kernel.LaunchConfig, error) {
+	if l.GridY == 0 {
+		l.GridY = 1
+	}
+	if l.BlockY == 0 {
+		l.BlockY = 1
+	}
+	lc := &kernel.LaunchConfig{
+		Grid:        kernel.Dim{X: l.GridX, Y: l.GridY},
+		Block:       kernel.Dim{X: l.BlockX, Y: l.BlockY},
+		SharedBytes: l.SharedBytes,
+	}
+	if len(l.Params) > len(lc.Params) {
+		return nil, fmt.Errorf("gscalar: %d params exceeds limit %d", len(l.Params), len(lc.Params))
+	}
+	copy(lc.Params[:], l.Params)
+	return lc, nil
+}

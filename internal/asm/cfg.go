@@ -1,0 +1,219 @@
+package asm
+
+import (
+	"sort"
+
+	"gscalar/internal/isa"
+	"gscalar/internal/kernel"
+)
+
+// cfg is the control-flow graph of a program, with a virtual exit node.
+type cfg struct {
+	blockStart []int   // block -> first PC
+	blockEnd   []int   // block -> one past last PC
+	blockOf    []int   // PC -> block
+	succs      [][]int // block -> successor blocks; exitNode has none
+	exitNode   int     // virtual exit block id (== len(blockStart))
+}
+
+// buildCFG partitions the program into basic blocks and records edges.
+func buildCFG(p *kernel.Program) *cfg {
+	n := p.Len()
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		switch in.Op {
+		case isa.OpBra:
+			leader[in.Target] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case isa.OpExit:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+	}
+
+	c := &cfg{blockOf: make([]int, n)}
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			if len(c.blockStart) > 0 {
+				c.blockEnd = append(c.blockEnd, pc)
+			}
+			c.blockStart = append(c.blockStart, pc)
+		}
+		c.blockOf[pc] = len(c.blockStart) - 1
+	}
+	c.blockEnd = append(c.blockEnd, n)
+	nb := len(c.blockStart)
+	c.exitNode = nb
+	c.succs = make([][]int, nb)
+
+	addSucc := func(b, s int) {
+		for _, x := range c.succs[b] {
+			if x == s {
+				return
+			}
+		}
+		c.succs[b] = append(c.succs[b], s)
+	}
+
+	for b := 0; b < nb; b++ {
+		lastPC := c.blockEnd[b] - 1
+		in := &p.Code[lastPC]
+		switch in.Op {
+		case isa.OpBra:
+			addSucc(b, c.blockOf[in.Target])
+			if in.Guard.On && lastPC+1 < n {
+				addSucc(b, c.blockOf[lastPC+1])
+			}
+		case isa.OpExit:
+			if in.Guard.On && lastPC+1 < n {
+				// A guarded exit falls through for lanes that don't exit.
+				addSucc(b, c.blockOf[lastPC+1])
+			}
+			addSucc(b, c.exitNode)
+		default:
+			if lastPC+1 < n {
+				addSucc(b, c.blockOf[lastPC+1])
+			} else {
+				addSucc(b, c.exitNode)
+			}
+		}
+		// A guarded exit in the middle of a block also reaches the virtual
+		// exit; mid-block guarded exits don't end a block only if they were
+		// not marked leaders. We made every exit end its block above, so
+		// only the block-terminating case needs edges.
+	}
+	return c
+}
+
+// postDominators computes, for each block, the set of blocks that
+// post-dominate it (including itself), using the iterative dataflow
+// formulation over the reverse CFG. The virtual exit node post-dominates
+// everything.
+func (c *cfg) postDominators() []bitset {
+	nb := len(c.blockStart)
+	total := nb + 1 // + virtual exit
+	pdom := make([]bitset, total)
+	full := newBitset(total)
+	for i := 0; i < total; i++ {
+		full.set(i)
+	}
+	for b := 0; b < nb; b++ {
+		pdom[b] = full.clone()
+	}
+	pdom[c.exitNode] = newBitset(total)
+	pdom[c.exitNode].set(c.exitNode)
+
+	changed := true
+	for changed {
+		changed = false
+		// Iterate blocks in reverse order: post-dominance information flows
+		// backwards, so reverse order converges quickly.
+		for b := nb - 1; b >= 0; b-- {
+			meet := full.clone()
+			if len(c.succs[b]) == 0 {
+				// Unreachable-from-exit block (e.g. infinite loop); treat as
+				// post-dominated only by itself.
+				meet = newBitset(total)
+			}
+			for i, s := range c.succs[b] {
+				if i == 0 {
+					meet = pdom[s].clone()
+				} else {
+					meet.intersect(pdom[s])
+				}
+			}
+			meet.set(b)
+			if !meet.equal(pdom[b]) {
+				pdom[b] = meet
+				changed = true
+			}
+		}
+	}
+	return pdom
+}
+
+// assignRPCs computes each branch's reconvergence PC: the first instruction
+// of the immediate post-dominator block of the branch's block. Branches
+// whose immediate post-dominator is the virtual exit get RPC = -1 (the
+// diverged paths never reconverge; all lanes eventually exit).
+func assignRPCs(p *kernel.Program) error {
+	c := buildCFG(p)
+	pdom := c.postDominators()
+	nb := len(c.blockStart)
+
+	ipdom := make([]int, nb)
+	for b := 0; b < nb; b++ {
+		ipdom[b] = c.exitNode
+		// Candidates: post-dominators of b other than b itself. The
+		// immediate post-dominator is the candidate that is post-dominated
+		// by every other candidate (the "closest" one).
+		var cands []int
+		for q := 0; q <= nb; q++ {
+			if q != b && pdom[b].has(q) {
+				cands = append(cands, q)
+			}
+		}
+		sort.Ints(cands)
+		for _, cand := range cands {
+			closest := true
+			for _, other := range cands {
+				if other != cand && !pdom[cand].has(other) {
+					closest = false
+					break
+				}
+			}
+			if closest {
+				ipdom[b] = cand
+				break
+			}
+		}
+	}
+
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if in.Op != isa.OpBra {
+			continue
+		}
+		b := c.blockOf[pc]
+		if ipdom[b] == c.exitNode {
+			in.RPC = -1
+		} else {
+			in.RPC = c.blockStart[ipdom[b]]
+		}
+	}
+	return nil
+}
+
+// bitset is a simple fixed-capacity bit set.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) intersect(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzAssemble: the assembler must never panic — arbitrary input either
+// assembles or returns an error.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"exit",
+		".kernel k\nmov r1, %tid.x\nexit",
+		"@p0 bra L\nL: exit",
+		"ldg r1, [r2+4]\nexit",
+		"isetp.lt p0, r1, r2\n@p0 exit\nexit",
+		"mov r1, 1.5\nstg [r1-8], r2\nexit",
+		"L: iadd r1, r1, 1\nbra L",
+		"bogus nonsense @@@",
+		"mov r999, $99",
+		".kernel\n",
+		"selp r1, r2, r3, p0\nexit",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Anything that assembles must survive the analyses and the
+		// disassembler, and the disassembly must reassemble.
+		_ = Analyze(p)
+		_ = DeadOnWrite(p)
+		text := Disassemble(p)
+		if _, err := Assemble(text); err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, text)
+		}
+	})
+}
+
+// TestAnalysesNeverPanicOnRandomPrograms runs the static analyses over the
+// random structured programs the postdominator property test uses.
+func TestAnalysesNeverPanicOnRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		src := genRandomProgram(rng)
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		a := Analyze(p)
+		dead := DeadOnWrite(p)
+		if len(a.Divergent) != p.Len() || len(dead) != p.Len() {
+			t.Fatalf("trial %d: result lengths wrong", trial)
+		}
+		// Sanity: an instruction can't be both provably uniform and in a
+		// divergent region.
+		for pc := range a.UniformInst {
+			if a.UniformInst[pc] && a.Divergent[pc] {
+				t.Fatalf("trial %d pc %d: uniform && divergent\n%s", trial, pc, src)
+			}
+		}
+	}
+}

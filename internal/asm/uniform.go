@@ -1,0 +1,149 @@
+package asm
+
+import (
+	"gscalar/internal/isa"
+	"gscalar/internal/kernel"
+)
+
+// StaticAnalysis holds the results of the compile-time uniformity and
+// divergence analysis over a program. It powers two consumers:
+//
+//   - the §6 comparison against compiler-assisted scalarization (Lee et
+//     al., CGO'13): UniformInst marks instructions a compiler could prove
+//     warp-uniform;
+//   - the §3.3 compiler-assisted move elision: Divergent marks regions
+//     where writes may be partial, which makes register defs non-killing
+//     for liveness purposes.
+type StaticAnalysis struct {
+	// Divergent[pc]: the instruction may execute with a partial warp
+	// (conservative over-approximation).
+	Divergent []bool
+	// UniformInst[pc]: every source of the instruction is provably
+	// warp-uniform at compile time and the instruction is convergent.
+	UniformInst []bool
+	// UniformReg / UniformPred: whole-program uniformity per register
+	// (a register is uniform only if every definition is).
+	UniformReg  [isa.NumGPRs]bool
+	UniformPred [isa.NumPreds]bool
+}
+
+// Analyze runs the path-insensitive fixed-point uniformity/divergence
+// analysis. A register is uniform only if ALL its static definitions have
+// uniform sources and occur in convergent code; any block between a branch
+// guarded by a non-uniform predicate and its reconvergence point is
+// divergent; loads are never compile-time uniform (the paper's key §6
+// observation: value similarity from loaded data is invisible statically).
+func Analyze(p *kernel.Program) *StaticAnalysis {
+	n := p.Len()
+	a := &StaticAnalysis{
+		Divergent:   make([]bool, n),
+		UniformInst: make([]bool, n),
+	}
+	for i := range a.UniformReg {
+		a.UniformReg[i] = true
+	}
+	for i := range a.UniformPred {
+		a.UniformPred[i] = true
+	}
+
+	srcUniform := func(o isa.Operand) bool {
+		switch o.Kind {
+		case isa.OpdImm, isa.OpdParam:
+			return true
+		case isa.OpdSpecial:
+			return o.IsUniform()
+		case isa.OpdReg:
+			return a.UniformReg[o.Reg]
+		case isa.OpdPred:
+			return a.UniformPred[o.Reg]
+		}
+		return true
+	}
+
+	for iter := 0; iter < n+2; iter++ {
+		changed := false
+
+		// Divergent regions from non-uniformly-guarded branches/exits.
+		newDiv := make([]bool, n)
+		for pc := 0; pc < n; pc++ {
+			in := p.At(pc)
+			guardNonUniform := in.Guard.On && !a.UniformPred[in.Guard.Reg]
+			if !guardNonUniform {
+				continue
+			}
+			switch in.Op {
+			case isa.OpBra:
+				end := in.RPC
+				if end < 0 || end < pc {
+					end = n // loop or never-reconverging: rest of program
+				}
+				start := pc
+				if in.Target < start {
+					start = in.Target
+				}
+				for i := start; i < end && i < n; i++ {
+					newDiv[i] = true
+				}
+			case isa.OpExit:
+				for i := pc; i < n; i++ {
+					newDiv[i] = true
+				}
+			}
+		}
+		for i := range a.Divergent {
+			if a.Divergent[i] != newDiv[i] {
+				a.Divergent[i] = newDiv[i]
+				changed = true
+			}
+		}
+
+		// Demote registers/predicates with non-uniform or divergent defs.
+		for pc := 0; pc < n; pc++ {
+			in := p.At(pc)
+			defUniform := !a.Divergent[pc] && !in.IsLoad()
+			if defUniform {
+				for i := uint8(0); i < in.NSrc; i++ {
+					if !srcUniform(in.Srcs[i]) {
+						defUniform = false
+						break
+					}
+				}
+			}
+			if defUniform {
+				continue
+			}
+			if r, ok := in.WritesReg(); ok && a.UniformReg[r] {
+				a.UniformReg[r] = false
+				changed = true
+			}
+			if pr, ok := in.WritesPred(); ok && a.UniformPred[pr] {
+				a.UniformPred[pr] = false
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for pc := 0; pc < n; pc++ {
+		in := p.At(pc)
+		if a.Divergent[pc] || in.Class() == isa.ClassCtrl || in.Op == isa.OpNop {
+			continue
+		}
+		if _, writes := in.WritesReg(); !writes {
+			if _, wp := in.WritesPred(); !wp && !in.IsStore() {
+				continue
+			}
+		}
+		ok := true
+		for i := uint8(0); i < in.NSrc; i++ {
+			if !srcUniform(in.Srcs[i]) {
+				ok = false
+				break
+			}
+		}
+		a.UniformInst[pc] = ok
+	}
+	return a
+}

@@ -1,0 +1,238 @@
+package asm
+
+import (
+	"testing"
+
+	"gscalar/internal/isa"
+)
+
+func TestAnalyzeUniformity(t *testing.T) {
+	p, err := Assemble(`
+	mov r1, $0            // uniform: param
+	mov r2, %tid.x        // non-uniform: per-lane special
+	iadd r3, r1, 5        // uniform chain
+	iadd r4, r2, r1       // tainted by r2
+	ldg r5, [r3]          // loads never uniform
+	iadd r6, r5, 1        // tainted by load
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	wantReg := map[uint8]bool{1: true, 2: false, 3: true, 4: false, 5: false, 6: false}
+	for r, w := range wantReg {
+		if a.UniformReg[r] != w {
+			t.Errorf("UniformReg[%d] = %v, want %v", r, a.UniformReg[r], w)
+		}
+	}
+	wantInst := []bool{true, false, true, false, true, false, false}
+	// pc 4 (the load): the *access* is uniform (scalar address) even though
+	// its result is not.
+	for pc, w := range wantInst {
+		if a.UniformInst[pc] != w {
+			t.Errorf("UniformInst[%d] = %v, want %v (%v)", pc, a.UniformInst[pc], w, p.At(pc))
+		}
+	}
+}
+
+func TestAnalyzeDivergentRegions(t *testing.T) {
+	p, err := Assemble(`
+	mov r1, %tid.x
+	isetp.lt p0, r1, 8     // non-uniform predicate
+	@p0 bra A
+	iadd r2, r2, 1         // divergent (else side)
+	bra J
+A:
+	iadd r2, r2, 2         // divergent (then side)
+J:
+	iadd r3, r3, 1         // reconverged
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	if !a.Divergent[3] || !a.Divergent[5] {
+		t.Error("branch sides not marked divergent")
+	}
+	if a.Divergent[6] || a.Divergent[0] {
+		t.Error("convergent code marked divergent")
+	}
+	// Uniform-predicate branches do not diverge.
+	p2, err := Assemble(`
+	mov r1, $0
+	isetp.lt p0, r1, 8     // uniform predicate
+	@p0 bra A
+	iadd r2, r2, 1
+	bra J
+A:
+	iadd r2, r2, 2
+J:
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := Analyze(p2)
+	for pc := range a2.Divergent {
+		if a2.Divergent[pc] {
+			t.Errorf("uniform branch produced divergence at pc %d", pc)
+		}
+	}
+}
+
+func deadAt(t *testing.T, src string, pc int) bool {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DeadOnWrite(p)[pc]
+}
+
+func TestDeadOnWriteTemporary(t *testing.T) {
+	// r5 is a temporary used only inside the divergent block: its stale
+	// bytes are never observable, the move can be elided.
+	src := `
+	mov r1, %tid.x
+	mov r5, 7              // compressed scalar write
+	isetp.lt p0, r1, 8
+	@p0 bra SKIP
+	mov r5, 3              // pc 4: divergent write of a dead-after value
+	imul r6, r5, 2         // read inside the same region: mask subset
+	iadd r7, r7, r6
+SKIP:
+	iadd r8, r7, 1
+	exit
+`
+	if !deadAt(t, src, 4) {
+		t.Error("in-region temporary not recognised as dead")
+	}
+}
+
+func TestDeadOnWriteFig7b(t *testing.T) {
+	// The paper's Figure 7(b) shape: r2 written on one divergent path and
+	// read on the OTHER path — masks are complementary, the stale bytes ARE
+	// observable. Elision must be refused.
+	src := `
+	mov r1, %tid.x
+	mov r2, 5
+	isetp.eq p0, r1, r2
+	@p0 bra THEN
+	iabs r3, r2            // pc 4: other-path read of r2
+	bra J
+THEN:
+	imul r2, r2, 2         // pc 6: divergent write of r2
+	iadd r4, r2, 1
+J:
+	exit
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := DeadOnWrite(p)
+	// Find the imul r2 write.
+	for pc := 0; pc < p.Len(); pc++ {
+		in := p.At(pc)
+		if in.Op == isa.OpIMul {
+			if dead[pc] {
+				t.Fatal("Figure 7(b) cross-path write wrongly elided")
+			}
+			return
+		}
+	}
+	t.Fatal("imul not found")
+}
+
+func TestDeadOnWriteReadAfterReconvergence(t *testing.T) {
+	// r5 read after the reconvergence point: the full mask observes the
+	// stale lanes.
+	src := `
+	mov r1, %tid.x
+	mov r5, 7
+	isetp.lt p0, r1, 8
+	@p0 bra SKIP
+	mov r5, 3              // pc 4: divergent write
+SKIP:
+	iadd r6, r5, 1         // convergent read: observes stale lanes
+	exit
+`
+	if deadAt(t, src, 4) {
+		t.Error("post-reconvergence read wrongly treated as dead")
+	}
+}
+
+func TestDeadOnWriteGuardedWrite(t *testing.T) {
+	// A guarded write followed by an unguarded read in the same block: the
+	// read's mask is wider than the write's — not dead.
+	src := `
+	mov r1, %tid.x
+	isetp.lt p0, r1, 8
+	mov r5, 7
+	@p0 mov r5, 3          // pc 3: guarded (partial) write
+	iadd r6, r5, 1         // full-mask read
+	exit
+`
+	if deadAt(t, src, 3) {
+		t.Error("guarded write with wider read wrongly treated as dead")
+	}
+}
+
+func TestDeadOnWriteLoopTemporary(t *testing.T) {
+	// A divergent-region temporary inside a loop: reads only in the same
+	// region each iteration — elidable every time.
+	src := `
+	mov r1, %tid.x
+	mov r9, 0
+LOOP:
+	isetp.lt p0, r1, 8
+	@p0 bra SKIP
+	mov r5, 3              // pc 4: divergent write, read only below
+	imul r6, r5, 2
+	iadd r9, r9, r6
+SKIP:
+	iadd r1, r1, 1
+	isetp.lt p1, r1, 20
+	@p1 bra LOOP
+	exit
+`
+	if !deadAt(t, src, 4) {
+		t.Error("loop-local divergent temporary not recognised as dead")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	p, err := Assemble(`
+	mov r1, %tid.x
+	isetp.lt p0, r1, 8
+	@p0 bra A
+	iadd r2, r2, 1
+	bra J
+A:
+	iadd r2, r2, 2
+J:
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildCFG(p)
+	dom := c.dominators()
+	entry := c.blockOf[0]
+	for b := 0; b < len(c.blockStart); b++ {
+		if !dom[b].has(entry) {
+			t.Errorf("entry does not dominate block %d", b)
+		}
+		if !dom[b].has(b) {
+			t.Errorf("block %d does not dominate itself", b)
+		}
+	}
+	// Neither branch side dominates the join.
+	join := c.blockOf[p.Labels["J"]]
+	then := c.blockOf[p.Labels["A"]]
+	if dom[join].has(then) {
+		t.Error("then-side wrongly dominates the join")
+	}
+}

@@ -1,0 +1,145 @@
+// Package baseline implements the prior-work comparators the paper
+// evaluates against: Base-Delta-Immediate register compression as used by
+// Warped-Compression (Lee et al., ISCA'15 — Figure 12's "W-C" bars) and the
+// scalar-register-file architecture (Gilani et al., HPCA'13 — the "ALU
+// scalar" / "scalar only" bars).
+package baseline
+
+import (
+	"encoding/binary"
+
+	"gscalar/internal/warp"
+)
+
+// BDIResult describes the best BDI encoding found for a vector register.
+type BDIResult struct {
+	Compressed bool
+	BaseBytes  int // 0 for the all-zero special case
+	DeltaBytes int
+	SizeBytes  int // total compressed size including metadata byte
+}
+
+// bdiConfigs are the (base size, delta size) pairs of the original BDI
+// proposal, tried in order of decreasing benefit.
+var bdiConfigs = []struct{ base, delta int }{
+	{8, 1}, {8, 2}, {8, 4},
+	{4, 1}, {4, 2},
+	{2, 1},
+}
+
+// CompressBDI applies BDI to the byte image of a vector register (width
+// lanes × 4 bytes, little-endian) and returns the best encoding. The
+// uncompressed size is width*4 bytes.
+func CompressBDI(vec []uint32) BDIResult {
+	raw := make([]byte, len(vec)*4)
+	for i, v := range vec {
+		binary.LittleEndian.PutUint32(raw[i*4:], v)
+	}
+	full := len(raw)
+
+	best := BDIResult{Compressed: false, SizeBytes: full}
+
+	// Special case: all zero.
+	allZero := true
+	for _, b := range raw {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return BDIResult{Compressed: true, BaseBytes: 0, DeltaBytes: 0, SizeBytes: 1}
+	}
+
+	consider := func(r BDIResult) {
+		if r.SizeBytes < best.SizeBytes {
+			best = r
+		}
+	}
+
+	// Special case: repeated 8-byte value.
+	if repeats(raw, 8) {
+		consider(BDIResult{Compressed: true, BaseBytes: 8, DeltaBytes: 0, SizeBytes: 9})
+	}
+
+	for _, c := range bdiConfigs {
+		if full%c.base != 0 {
+			continue
+		}
+		if ok := fitsBaseDelta(raw, c.base, c.delta); ok {
+			n := c.base + (full/c.base)*c.delta + 1
+			consider(BDIResult{Compressed: true, BaseBytes: c.base, DeltaBytes: c.delta, SizeBytes: n})
+		}
+	}
+	return best
+}
+
+func repeats(raw []byte, unit int) bool {
+	for i := unit; i < len(raw); i++ {
+		if raw[i] != raw[i%unit] {
+			return false
+		}
+	}
+	return true
+}
+
+func fitsBaseDelta(raw []byte, baseSize, deltaSize int) bool {
+	base := loadUint(raw[:baseSize])
+	limit := int64(1) << uint(deltaSize*8-1)
+	for off := 0; off < len(raw); off += baseSize {
+		v := loadUint(raw[off : off+baseSize])
+		d := int64(v) - int64(base)
+		if d < -limit || d >= limit {
+			return false
+		}
+	}
+	return true
+}
+
+func loadUint(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// BDIRegFile tracks the BDI-compressed state of a warp's registers for the
+// Warped-Compression comparator: per-register compressed size drives the
+// energy model (arrays activated ∝ bytes that must be read).
+type BDIRegFile struct {
+	width int
+	size  []int // compressed bytes per register
+}
+
+// NewBDIRegFile allocates state for numRegs registers of width lanes.
+// Registers start uncompressed.
+func NewBDIRegFile(numRegs, width int) *BDIRegFile {
+	s := make([]int, numRegs)
+	for i := range s {
+		s[i] = width * 4
+	}
+	return &BDIRegFile{width: width, size: s}
+}
+
+// OnWrite records a write. Divergent (partial) writes store uncompressed,
+// matching Warped-Compression's handling of partial updates.
+func (rf *BDIRegFile) OnWrite(reg int, vec []uint32, active, live warp.Mask) BDIResult {
+	if active != live {
+		rf.size[reg] = rf.width * 4
+		return BDIResult{Compressed: false, SizeBytes: rf.width * 4}
+	}
+	r := CompressBDI(vec)
+	rf.size[reg] = r.SizeBytes
+	return r
+}
+
+// ReadBytes returns the number of bytes that must be fetched to read the
+// register (its compressed size, rounded up to whole 16-byte arrays by the
+// caller's energy model).
+func (rf *BDIRegFile) ReadBytes(reg int) int { return rf.size[reg] }
+
+// CompressionRatio returns original/compressed for one register.
+func (rf *BDIRegFile) CompressionRatio(reg int) float64 {
+	return float64(rf.width*4) / float64(rf.size[reg])
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gscalar/internal/warp"
+)
+
+func full32() warp.Mask { return warp.FullMask(32) }
+
+func TestSameMSBBytesPaperExample(t *testing.T) {
+	// The §2.2/§3.1 example: C04039C0, C04039C8, ..., C04039F8 — the first
+	// three MSBs are identical, byte[0] differs.
+	vec := make([]uint32, 8)
+	for i := range vec {
+		vec[i] = 0xC04039C0 + uint32(i)*8
+	}
+	if got := SameMSBBytes(vec, warp.FullMask(8)); got != 3 {
+		t.Fatalf("same = %d, want 3", got)
+	}
+	if got := EncBits(3); got != 0b1110 {
+		t.Fatalf("enc = %04b, want 1110", got)
+	}
+	if got := BaseValue(vec, warp.FullMask(8)); got != 0xC04039C0 {
+		t.Fatalf("base = %08x", got)
+	}
+}
+
+func TestSameMSBBytesCases(t *testing.T) {
+	cases := []struct {
+		name string
+		vec  []uint32
+		mask warp.Mask
+		want uint8
+	}{
+		{"scalar", []uint32{5, 5, 5, 5}, 0xF, 4},
+		{"all differ", []uint32{0x11000000, 0x22000000}, 0x3, 0},
+		{"byte3 same", []uint32{0xAA000000, 0xAA110000}, 0x3, 1},
+		{"byte3:2 same", []uint32{0xAABB0000, 0xAABB1100}, 0x3, 2},
+		{"byte3:1 same", []uint32{0xAABBCC00, 0xAABBCC11}, 0x3, 3},
+		{"single lane", []uint32{1, 2, 3, 4}, 0x4, 4},
+		{"masked uniform", []uint32{7, 99, 7, 99}, 0b0101, 4},
+		{"masked divergent", []uint32{7, 99, 8, 99}, 0b0101, 3},
+		{"empty-ish one lane", []uint32{42}, 1, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := SameMSBBytes(c.vec, c.mask); got != c.want {
+				t.Fatalf("same = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestEncBitsTable(t *testing.T) {
+	want := []uint8{0b0000, 0b1000, 0b1100, 0b1110, 0b1111}
+	for i, w := range want {
+		if got := EncBits(uint8(i)); got != w {
+			t.Errorf("EncBits(%d) = %04b, want %04b", i, got, w)
+		}
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	patterns := []func() uint32{
+		func() uint32 { return rng.Uint32() },                   // random
+		func() uint32 { return 0xC0400000 | rng.Uint32()&0xFF }, // 3-byte similar
+		func() uint32 { return 0x1234 },                         // scalar
+		func() uint32 { return rng.Uint32() & 0xFFFF },          // 2-byte similar
+	}
+	for pi, gen := range patterns {
+		for trial := 0; trial < 50; trial++ {
+			vec := make([]uint32, 32)
+			for i := range vec {
+				vec[i] = gen()
+			}
+			mask := warp.Mask(rng.Uint32())
+			if mask == 0 {
+				mask = 1
+			}
+			c := Compress(vec, mask)
+			back := c.Decompress(mask)
+			for lane := 0; lane < 32; lane++ {
+				if mask&(1<<lane) == 0 {
+					continue
+				}
+				if back[lane] != vec[lane] {
+					t.Fatalf("pattern %d: lane %d: %08x != %08x (same=%d)",
+						pi, lane, back[lane], vec[lane], c.Same)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressRoundTripProperty is the quick-check form of the round trip.
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(raw [8]uint32, mask8 uint8) bool {
+		mask := warp.Mask(mask8)
+		if mask == 0 {
+			mask = 1
+		}
+		vec := raw[:]
+		c := Compress(vec, mask)
+		back := c.Decompress(mask)
+		for lane := 0; lane < len(vec); lane++ {
+			if mask&(1<<lane) != 0 && back[lane] != vec[lane] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBroadcastEquivalence checks the §4.2 observation the divergent
+// comparison network relies on: comparing only active lanes is equivalent
+// to broadcasting an active lane's value into inactive lanes and comparing
+// all.
+func TestBroadcastEquivalence(t *testing.T) {
+	f := func(raw [8]uint32, mask8 uint8) bool {
+		mask := warp.Mask(mask8)
+		if mask == 0 {
+			return true
+		}
+		vec := raw[:]
+		direct := SameMSBBytes(vec, mask)
+
+		// Broadcast: fill inactive lanes with the first active value.
+		fill := BaseValue(vec, mask)
+		bvec := make([]uint32, len(vec))
+		for i := range vec {
+			if mask&(1<<i) != 0 {
+				bvec[i] = vec[i]
+			} else {
+				bvec[i] = fill
+			}
+		}
+		broadcast := SameMSBBytes(bvec, warp.FullMask(len(vec)))
+		return direct == broadcast
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoredBits(t *testing.T) {
+	vec := make([]uint32, 32)
+	for i := range vec {
+		vec[i] = 7
+	}
+	c := Compress(vec, full32())
+	// Scalar: no delta planes; only BVR(32) + EBR(4).
+	if c.StoredBits() != 36 {
+		t.Errorf("scalar stored = %d, want 36", c.StoredBits())
+	}
+	for i := range vec {
+		vec[i] = uint32(i) // 3 MSBs same
+	}
+	c = Compress(vec, full32())
+	if want := 1*8*32 + 36; c.StoredBits() != want {
+		t.Errorf("3-byte stored = %d, want %d", c.StoredBits(), want)
+	}
+}
+
+func TestIsScalar(t *testing.T) {
+	if !IsScalar([]uint32{3, 3, 3}, 0b111) {
+		t.Error("uniform not detected")
+	}
+	if IsScalar([]uint32{3, 4, 3}, 0b111) {
+		t.Error("non-uniform detected as scalar")
+	}
+	if !IsScalar([]uint32{3, 4, 3}, 0b101) {
+		t.Error("masked-uniform not detected")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	cases := map[int]int{8: 1, 16: 1, 32: 2, 48: 3, 64: 4}
+	for w, want := range cases {
+		if got := Groups(w); got != want {
+			t.Errorf("Groups(%d) = %d, want %d", w, got, want)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"gscalar/internal/warp"
+)
+
+// Features selects which of the paper's mechanisms are active. The
+// architecture presets in the public package map onto these.
+type Features struct {
+	Compression     bool // byte-wise register value compression (§3)
+	HalfCompression bool // per-16-lane-group compression (§3.2 end, §4.3)
+	ScalarALU       bool // scalar execution of non-divergent ALU instructions
+	ScalarSFU       bool // … of special-function instructions (§4.1)
+	ScalarMem       bool // … of memory instructions (§5.2)
+	HalfScalar      bool // half-warp scalar execution (§4.3)
+	DivergentScalar bool // scalar execution of divergent instructions (§4.2)
+}
+
+// GScalarFeatures returns the full G-Scalar feature set.
+func GScalarFeatures() Features {
+	return Features{
+		Compression: true, HalfCompression: true,
+		ScalarALU: true, ScalarSFU: true, ScalarMem: true,
+		HalfScalar: true, DivergentScalar: true,
+	}
+}
+
+// GScalarNoDivFeatures returns G-Scalar without divergent and half-warp
+// scalar execution (Figure 11's "G-Scalar w/o divergent" bar).
+func GScalarNoDivFeatures() Features {
+	return Features{
+		Compression: true, HalfCompression: true,
+		ScalarALU: true, ScalarSFU: true, ScalarMem: true,
+	}
+}
+
+// RegMeta is the compression metadata of one vector register: the encoding
+// bit register (EBR: enc plus the D and FS flags) and base value register
+// (BVR) contents, modelled per 16-lane group.
+type RegMeta struct {
+	// D is the "divergent" flag (§3.3): set when the register was last
+	// written by a divergent instruction, in which case the register is
+	// stored uncompressed, Enc describes only the active lanes, and the
+	// BVR holds the writing instruction's active mask instead of a base.
+	D bool
+	// DMask is the active mask stored in the BVR when D is set.
+	DMask warp.Mask
+	// Enc is the warp-level count of identical MSBs (0..4). When D is set
+	// it was computed over the active lanes via the broadcast network.
+	Enc uint8
+	// Base is the warp-level base value (valid when !D).
+	Base uint32
+	// GEnc/GBase are the per-group encoding and base (valid when !D and
+	// half-compression is enabled; they power half-warp scalar execution).
+	GEnc  []uint8
+	GBase []uint32
+	// FS ("full scalar", Figure 7(c)) indicates all groups hold the same
+	// scalar: equivalent to Enc == 4.
+	FS bool
+}
+
+// PredMeta tracks uniformity of a predicate register, mirroring the
+// register mechanism: a predicate written by an instruction whose sources
+// were scalar w.r.t. mask M is uniform w.r.t. M.
+type PredMeta struct {
+	Uniform bool
+	Mask    warp.Mask // the active mask under which uniformity holds
+}
+
+// WarpRegs is the per-warp metadata file: one RegMeta per architectural
+// vector register plus predicate uniformity bits. It corresponds to the
+// 64×38-bit array per bank the paper synthesises (§5.1).
+type WarpRegs struct {
+	Width  int
+	Live   warp.Mask // lanes populated at launch
+	groups int
+	regs   []RegMeta
+	preds  []PredMeta
+}
+
+// NewWarpRegs allocates metadata for a warp of the given width. All
+// registers start uncompressed (enc = 0).
+func NewWarpRegs(numRegs, numPreds, width int, live warp.Mask) *WarpRegs {
+	g := Groups(width)
+	wr := &WarpRegs{
+		Width:  width,
+		Live:   live,
+		groups: g,
+		regs:   make([]RegMeta, numRegs),
+		preds:  make([]PredMeta, numPreds),
+	}
+	for i := range wr.regs {
+		wr.regs[i].GEnc = make([]uint8, g)
+		wr.regs[i].GBase = make([]uint32, g)
+	}
+	return wr
+}
+
+// Meta returns the metadata of register r (read-only use).
+func (wr *WarpRegs) Meta(r int) *RegMeta { return &wr.regs[r] }
+
+// Pred returns the uniformity metadata of predicate p.
+func (wr *WarpRegs) Pred(p int) PredMeta { return wr.preds[p] }
+
+// Groups returns the number of 16-lane groups per register.
+func (wr *WarpRegs) Groups() int { return wr.groups }
+
+// groupMask returns the live lanes of group g.
+func (wr *WarpRegs) groupMask(g int) warp.Mask {
+	lo := g * GroupSize
+	hi := lo + GroupSize
+	if hi > wr.Width {
+		hi = wr.Width
+	}
+	var m warp.Mask
+	for lane := lo; lane < hi; lane++ {
+		m |= 1 << lane
+	}
+	return m & wr.Live
+}
+
+// Writeback describes what one register writeback did to the register file,
+// for the timing and energy models.
+type Writeback struct {
+	Divergent bool
+	Enc       uint8 // warp-level enc after the write (broadcast enc when divergent)
+	// ArraysWritten is the number of 128-bit SRAM arrays activated for the
+	// write in the byte-plane-reordered register file.
+	ArraysWritten int
+	// BVREBRWritten reports whether the small BVR/EBR array was written
+	// (always true when compression is on: enc bits are always generated).
+	BVREBRWritten bool
+	// CompressedBits / OriginalBits feed the compression-ratio statistic.
+	CompressedBits int
+	OriginalBits   int
+}
+
+// OnWrite updates register metadata for a write of vec under active, and
+// returns the writeback cost. live distinguishes divergent writes
+// (active != live) from full writes. The scalarExec flag marks writes
+// performed by a scalar execution (the result is written to the BVR only,
+// §4.1) — it may only be set when the write is non-divergent and uniform.
+func (wr *WarpRegs) OnWrite(reg int, vec []uint32, active warp.Mask, f Features, scalarExec bool) Writeback {
+	m := &wr.regs[reg]
+	wb := Writeback{OriginalBits: wr.Width * WordBits}
+
+	if !f.Compression {
+		// Baseline register file: word-interleaved arrays; a partial write
+		// activates only the arrays containing active lanes (§3.3).
+		wb.Divergent = active != wr.Live
+		wb.ArraysWritten = baselineArraysTouched(active, wr.Width, wr.Live)
+		wb.CompressedBits = wb.OriginalBits
+		return wb
+	}
+
+	if active != wr.Live {
+		// Divergent write (§3.3): never compressed; all arrays activated
+		// (each byte of a 4-byte value is spread across the byte-plane
+		// arrays). Encoding bits are still generated over the active lanes
+		// via the broadcast network; the BVR stores the active mask.
+		same := SameMSBBytes(vec, active)
+		m.D = true
+		m.DMask = active
+		m.Enc = same
+		m.FS = false
+		for g := range m.GEnc {
+			m.GEnc[g] = 0
+		}
+		wb.Divergent = true
+		wb.Enc = same
+		wb.ArraysWritten = totalArrays(wr.Width)
+		wb.BVREBRWritten = true
+		wb.CompressedBits = wb.OriginalBits
+		return wb
+	}
+
+	// Non-divergent write: compress.
+	m.D = false
+	m.DMask = 0
+	m.Enc = SameMSBBytes(vec, wr.Live)
+	m.Base = BaseValue(vec, wr.Live)
+	m.FS = m.Enc == 4
+	deltas := 0 // delta byte-planes stored, in array units
+	if f.HalfCompression {
+		for g := 0; g < wr.groups; g++ {
+			gm := wr.groupMask(g)
+			if gm == 0 {
+				m.GEnc[g] = 4
+				m.GBase[g] = 0
+				continue
+			}
+			m.GEnc[g] = SameMSBBytes(vec, gm)
+			m.GBase[g] = BaseValue(vec, gm)
+			deltas += WordBytes - int(m.GEnc[g])
+		}
+	} else {
+		for g := 0; g < wr.groups; g++ {
+			m.GEnc[g] = m.Enc
+			m.GBase[g] = m.Base
+		}
+		deltas = (WordBytes - int(m.Enc)) * wr.groups
+	}
+
+	wb.Enc = m.Enc
+	wb.BVREBRWritten = true
+	if scalarExec {
+		// Scalar execution writes its single result to the BVR and sets
+		// enc=1111; no SRAM array is touched (§4.1).
+		wb.ArraysWritten = 0
+	} else {
+		wb.ArraysWritten = deltas
+	}
+	wb.CompressedBits = deltas*GroupSize*8 + wr.groups*38
+	return wb
+}
+
+// OnPredWrite updates predicate uniformity: uniform reports whether the
+// writing instruction's sources were all scalar w.r.t. its active mask.
+func (wr *WarpRegs) OnPredWrite(p int, active warp.Mask, uniform bool) {
+	wr.preds[p] = PredMeta{Uniform: uniform, Mask: active}
+}
+
+// ReadCost describes the register-file cost of reading one source register.
+type ReadCost struct {
+	// ArraysRead is the number of 128-bit SRAM arrays activated.
+	ArraysRead int
+	// BVREBRRead reports whether the small BVR/EBR array was accessed
+	// (always, with compression on: enc bits gate array activation).
+	BVREBRRead bool
+	// CrossbarBytes is the number of bytes sent through the crossbar
+	// (compressed reads skip the base bytes, §3.2).
+	CrossbarBytes int
+	// Decompress reports whether the decompression logic is exercised.
+	Decompress bool
+	// Class is the access class for the Figure 8 histogram.
+	Class AccessClass
+}
+
+// AccessClass classifies an RF read for Figure 8.
+type AccessClass uint8
+
+// Access classes, in Figure 8's legend order.
+const (
+	AccessScalar    AccessClass = iota // all 32 operands identical
+	Access3Byte                        // first 3 MSBs identical
+	Access2Byte                        // first 2 MSBs identical
+	Access1Byte                        // first MSB identical
+	AccessNone                         // no common MSB
+	AccessDivergent                    // accessed by a divergent instruction
+	NumAccessClasses
+)
+
+// String returns the Figure 8 legend label.
+func (c AccessClass) String() string {
+	switch c {
+	case AccessScalar:
+		return "scalar"
+	case Access3Byte:
+		return "3-byte"
+	case Access2Byte:
+		return "2-byte"
+	case Access1Byte:
+		return "1-byte"
+	case AccessNone:
+		return "none"
+	case AccessDivergent:
+		return "divergent"
+	}
+	return "?"
+}
+
+func classOfEnc(enc uint8) AccessClass {
+	switch enc {
+	case 4:
+		return AccessScalar
+	case 3:
+		return Access3Byte
+	case 2:
+		return Access2Byte
+	case 1:
+		return Access1Byte
+	}
+	return AccessNone
+}
+
+// OnRead returns the cost of reading register r for an instruction
+// executing under active. divergentReader marks reads by divergent
+// instructions (which always retrieve the full register, §4.2, and are
+// reported in Figure 8's "divergent" class).
+func (wr *WarpRegs) OnRead(reg int, active warp.Mask, f Features, divergentReader bool) ReadCost {
+	m := &wr.regs[reg]
+	full := totalArrays(wr.Width)
+
+	if !f.Compression {
+		return ReadCost{
+			ArraysRead:    full,
+			CrossbarBytes: wr.Width * WordBytes,
+			Class:         AccessNone,
+		}
+	}
+
+	rc := ReadCost{BVREBRRead: true}
+	switch {
+	case divergentReader:
+		rc.Class = AccessDivergent
+	case m.D:
+		// Registers written divergently are stored uncompressed; a
+		// non-divergent read sees a non-uniform register.
+		rc.Class = AccessNone
+	default:
+		rc.Class = classOfEnc(m.Enc)
+	}
+
+	if m.D {
+		// Uncompressed storage: all arrays.
+		rc.ArraysRead = full
+		rc.CrossbarBytes = wr.Width * WordBytes
+		return rc
+	}
+
+	// Compressed storage: only delta byte-plane arrays are activated, and
+	// only delta bytes traverse the crossbar; base bytes come from the BVR.
+	deltas := 0
+	if f.HalfCompression {
+		for g := 0; g < wr.groups; g++ {
+			deltas += WordBytes - int(m.GEnc[g])
+		}
+	} else {
+		deltas = (WordBytes - int(m.Enc)) * wr.groups
+	}
+	rc.ArraysRead = deltas
+	rc.CrossbarBytes = deltas * GroupSize
+	rc.Decompress = deltas < full
+	return rc
+}
+
+// NeedsDecompressMove reports whether a divergent write to reg must be
+// preceded by the special decompressing move instruction (§3.3): the
+// register is currently stored compressed, so a partial per-lane update
+// cannot be applied in place.
+func (wr *WarpRegs) NeedsDecompressMove(reg int, f Features) bool {
+	if !f.Compression {
+		return false
+	}
+	m := &wr.regs[reg]
+	if m.D {
+		return false // already stored uncompressed
+	}
+	if f.HalfCompression {
+		for g := 0; g < wr.groups; g++ {
+			if m.GEnc[g] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return m.Enc > 0
+}
+
+// DecompressInPlace models the effect of the special move: the register is
+// rewritten uncompressed (enc = 0, D = 0).
+func (wr *WarpRegs) DecompressInPlace(reg int) {
+	m := &wr.regs[reg]
+	m.D = false
+	m.DMask = 0
+	m.Enc = 0
+	m.FS = false
+	for g := range m.GEnc {
+		m.GEnc[g] = 0
+	}
+}
+
+// totalArrays returns the number of 128-bit arrays holding one vector
+// register: 4 byte-planes per 16-lane group (8 arrays for a 32-wide warp,
+// matching the paper's 8×128-bit bank).
+func totalArrays(width int) int { return Groups(width) * WordBytes }
+
+// baselineArraysTouched models the baseline word-interleaved register file,
+// where each 128-bit array holds four adjacent 4-byte lanes: a partial
+// write activates the arrays containing at least one active lane.
+func baselineArraysTouched(active warp.Mask, width int, live warp.Mask) int {
+	if active == live {
+		return totalArrays(width)
+	}
+	const lanesPerArray = 4
+	n := 0
+	for lo := 0; lo < width; lo += lanesPerArray {
+		var gm warp.Mask
+		for lane := lo; lane < lo+lanesPerArray && lane < width; lane++ {
+			gm |= 1 << lane
+		}
+		if active&gm != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"gscalar/internal/isa"
+	"gscalar/internal/warp"
+)
+
+// Tests of the 64-wide-warp (Figure 10) metadata paths: four 16-lane
+// groups per register.
+
+func vec64(f func(lane int) uint32) []uint32 {
+	v := make([]uint32, 64)
+	for i := range v {
+		v[i] = f(i)
+	}
+	return v
+}
+
+func TestWarp64Groups(t *testing.T) {
+	wr := NewWarpRegs(8, 8, 64, warp.FullMask(64))
+	if wr.Groups() != 4 {
+		t.Fatalf("groups = %d, want 4", wr.Groups())
+	}
+}
+
+func TestWarp64QuarterScalarDetection(t *testing.T) {
+	wr := NewWarpRegs(8, 8, 64, warp.FullMask(64))
+	f := GScalarFeatures()
+	full := warp.FullMask(64)
+
+	// Four distinct per-group scalars: quarter-scalar eligible.
+	wr.OnWrite(1, vec64(func(l int) uint32 { return uint32(l/16) * 100 }), full, f, false)
+	m := wr.Meta(1)
+	for g := 0; g < 4; g++ {
+		if m.GEnc[g] != 4 || m.GBase[g] != uint32(g)*100 {
+			t.Fatalf("group %d meta = enc %d base %d", g, m.GEnc[g], m.GBase[g])
+		}
+	}
+	in := &isa.Instruction{Op: isa.OpIAdd, Dst: isa.Reg(2), NSrc: 2, Target: -1, RPC: -1}
+	in.Srcs[0], in.Srcs[1] = isa.Reg(1), isa.Imm(1)
+	if e := wr.Detect(in, full, f); e != EligibleHalf {
+		t.Fatalf("quarter-scalar detection = %v", e)
+	}
+
+	// A 32-thread-uniform value is NOT full-warp scalar at width 64 but is
+	// group-uniform: also the 16-thread class.
+	wr.OnWrite(3, vec64(func(l int) uint32 { return uint32(l/32) + 7 }), full, f, false)
+	in.Srcs[0] = isa.Reg(3)
+	if e := wr.Detect(in, full, f); e != EligibleHalf {
+		t.Fatalf("32-uniform at warp64 = %v", e)
+	}
+
+	// A fully uniform value is full-warp scalar.
+	wr.OnWrite(4, vec64(func(int) uint32 { return 9 }), full, f, false)
+	in.Srcs[0] = isa.Reg(4)
+	if e := wr.Detect(in, full, f); e != EligibleFull {
+		t.Fatalf("uniform at warp64 = %v", e)
+	}
+
+	// One non-uniform group spoils the quarter-scalar class.
+	wr.OnWrite(5, vec64(func(l int) uint32 {
+		if l < 48 {
+			return uint32(l / 16)
+		}
+		return uint32(l) // last group varies
+	}), full, f, false)
+	in.Srcs[0] = isa.Reg(5)
+	if e := wr.Detect(in, full, f); e != NotEligible {
+		t.Fatalf("mixed groups = %v", e)
+	}
+}
+
+func TestWarp64WriteCosts(t *testing.T) {
+	wr := NewWarpRegs(8, 8, 64, warp.FullMask(64))
+	f := GScalarFeatures()
+	full := warp.FullMask(64)
+
+	// Full-scalar write: no arrays touched.
+	wb := wr.OnWrite(1, vec64(func(int) uint32 { return 5 }), full, f, false)
+	if wb.ArraysWritten != 0 {
+		t.Errorf("scalar arrays = %d", wb.ArraysWritten)
+	}
+	// Incompressible write: 4 byte planes × 4 groups = 16 arrays.
+	wb = wr.OnWrite(2, vec64(func(l int) uint32 { return uint32(l) * 0x01010101 }), full, f, false)
+	if wb.ArraysWritten != 16 {
+		t.Errorf("incompressible arrays = %d, want 16", wb.ArraysWritten)
+	}
+	// Divergent write touches everything.
+	wb = wr.OnWrite(3, vec64(func(int) uint32 { return 1 }), warp.FullMask(20), f, false)
+	if !wb.Divergent || wb.ArraysWritten != 16 {
+		t.Errorf("divergent write = %+v", wb)
+	}
+}
+
+func TestWarp64DivergentScalarMaskMatch(t *testing.T) {
+	wr := NewWarpRegs(8, 8, 64, warp.FullMask(64))
+	f := GScalarFeatures()
+	mask := warp.Mask(0x00000000FFFF0000)
+
+	wr.OnWrite(1, vec64(func(int) uint32 { return 3 }), mask, f, false)
+	in := &isa.Instruction{Op: isa.OpIMul, Dst: isa.Reg(2), NSrc: 2, Target: -1, RPC: -1}
+	in.Srcs[0], in.Srcs[1] = isa.Reg(1), isa.Imm(2)
+	if e := wr.Detect(in, mask, f); e != EligibleDivergent {
+		t.Fatalf("same-mask = %v", e)
+	}
+	if e := wr.Detect(in, mask<<16, f); e != NotEligible {
+		t.Fatalf("other-mask = %v", e)
+	}
+}
+
+func TestCompressRoundTrip64(t *testing.T) {
+	vec := vec64(func(l int) uint32 { return 0xAB000000 + uint32(l)*3 })
+	mask := warp.FullMask(64)
+	c := Compress(vec, mask)
+	back := c.Decompress(mask)
+	for i := range vec {
+		if back[i] != vec[i] {
+			t.Fatalf("lane %d: %08x != %08x", i, back[i], vec[i])
+		}
+	}
+	if c.Same != 3 {
+		t.Errorf("same = %d, want 3", c.Same)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV emitters: one machine-readable record stream per figure, for external
+// plotting. Fractions are emitted as decimals (not percentages).
+
+func csvJoin(fields ...string) string { return strings.Join(fields, ",") + "\n" }
+
+func f(v float64) string { return fmt.Sprintf("%.6f", v) }
+
+// Fig1CSV renders Figure 1 rows as CSV.
+func Fig1CSV(rows []Fig1Row) string {
+	var b strings.Builder
+	b.WriteString(csvJoin("bench", "divergent", "divergent_scalar"))
+	for _, r := range rows {
+		b.WriteString(csvJoin(r.Abbr, f(r.Divergent), f(r.DivergentScalar)))
+	}
+	return b.String()
+}
+
+// Fig8CSV renders Figure 8 rows as CSV.
+func Fig8CSV(rows []Fig8Row) string {
+	var b strings.Builder
+	b.WriteString(csvJoin("bench", "scalar", "b3", "b2", "b1", "none", "divergent"))
+	for _, r := range rows {
+		d := r.Dist
+		b.WriteString(csvJoin(r.Abbr, f(d.Scalar), f(d.B3), f(d.B2), f(d.B1), f(d.None), f(d.Divergent)))
+	}
+	return b.String()
+}
+
+// Fig9CSV renders Figure 9 rows as CSV.
+func Fig9CSV(rows []Fig9Row) string {
+	var b strings.Builder
+	b.WriteString(csvJoin("bench", "alu", "sfu", "mem", "half", "divergent", "total"))
+	for _, r := range rows {
+		e := r.E
+		b.WriteString(csvJoin(r.Abbr, f(e.ALU), f(e.SFU), f(e.Mem), f(e.Half), f(e.Divergent), f(e.Total())))
+	}
+	return b.String()
+}
+
+// Fig10CSV renders Figure 10 rows as CSV.
+func Fig10CSV(rows []Fig10Row) string {
+	var b strings.Builder
+	b.WriteString(csvJoin("bench", "half_warp32", "quarter_warp64"))
+	for _, r := range rows {
+		b.WriteString(csvJoin(r.Abbr, f(r.Half32), f(r.Half64)))
+	}
+	return b.String()
+}
+
+// Fig11CSV renders Figure 11 rows as CSV.
+func Fig11CSV(rows []Fig11Row) string {
+	var b strings.Builder
+	b.WriteString(csvJoin("bench", "alu_scalar", "gscalar_nodiv", "gscalar", "gscalar_ipc", "baseline_watts"))
+	for _, r := range rows {
+		b.WriteString(csvJoin(r.Abbr, f(r.ALUScalar), f(r.GScalarNoDiv), f(r.GScalar), f(r.GScalarIPC), f(r.BaselinePower)))
+	}
+	return b.String()
+}
+
+// Fig12CSV renders Figure 12 rows as CSV.
+func Fig12CSV(rows []Fig12Row) string {
+	var b strings.Builder
+	b.WriteString(csvJoin("bench", "scalar_only", "wc", "ours", "ratio_ours", "ratio_bdi"))
+	for _, r := range rows {
+		b.WriteString(csvJoin(r.Abbr, f(r.ScalarOnly), f(r.WC), f(r.Ours), f(r.OursRatio), f(r.WCRatio)))
+	}
+	return b.String()
+}
+
+// MovesCSV renders the §3.3 overhead rows as CSV.
+func MovesCSV(rows []MoveOverheadRow) string {
+	var b strings.Builder
+	b.WriteString(csvJoin("bench", "hardware", "compiler_assisted"))
+	for _, r := range rows {
+		b.WriteString(csvJoin(r.Abbr, f(r.Hardware), f(r.CompilerAssisted)))
+	}
+	return b.String()
+}
+
+// WidthCSV renders the §5.3 width-sweep rows as CSV.
+func WidthCSV(rows []WidthRow) string {
+	var b strings.Builder
+	b.WriteString(csvJoin("bits", "rf_dynamic_vs_base", "compression_ratio"))
+	for _, r := range rows {
+		b.WriteString(csvJoin(fmt.Sprint(r.Bits), f(r.RFDynamicVsBase), f(r.CompressionRatio)))
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gscalar"
+)
+
+func TestCSVEmitters(t *testing.T) {
+	fig1 := Fig1CSV([]Fig1Row{{"HS", 0.5, 0.25}})
+	if !strings.HasPrefix(fig1, "bench,divergent,divergent_scalar\n") ||
+		!strings.Contains(fig1, "HS,0.500000,0.250000") {
+		t.Errorf("fig1 csv:\n%s", fig1)
+	}
+	fig8 := Fig8CSV([]Fig8Row{{"X", gscalar.RFAccessDist{Scalar: 0.3, B3: 0.2, Divergent: 0.1}}})
+	if lines := strings.Count(fig8, "\n"); lines != 2 {
+		t.Errorf("fig8 csv lines = %d", lines)
+	}
+	if !strings.Contains(fig8, "X,0.300000,0.200000,0.000000,0.000000,0.000000,0.100000") {
+		t.Errorf("fig8 csv:\n%s", fig8)
+	}
+	fig9 := Fig9CSV([]Fig9Row{{"X", gscalar.Eligibility{ALU: 0.2, Divergent: 0.1}}})
+	if !strings.Contains(fig9, ",0.300000\n") { // total column
+		t.Errorf("fig9 csv total missing:\n%s", fig9)
+	}
+	fig10 := Fig10CSV([]Fig10Row{{"X", 0.02, 0.05}})
+	if !strings.Contains(fig10, "X,0.020000,0.050000") {
+		t.Errorf("fig10 csv:\n%s", fig10)
+	}
+	fig11 := Fig11CSV([]Fig11Row{{Abbr: "X", ALUScalar: 1.1, GScalarNoDiv: 1.2, GScalar: 1.3, GScalarIPC: 0.98, BaselinePower: 100}})
+	if !strings.Contains(fig11, "X,1.100000,1.200000,1.300000,0.980000,100.000000") {
+		t.Errorf("fig11 csv:\n%s", fig11)
+	}
+	fig12 := Fig12CSV([]Fig12Row{{Abbr: "X", ScalarOnly: 0.6, WC: 0.5, Ours: 0.4, OursRatio: 2.2, WCRatio: 2.1}})
+	if !strings.Contains(fig12, "X,0.600000,0.500000,0.400000,2.200000,2.100000") {
+		t.Errorf("fig12 csv:\n%s", fig12)
+	}
+	mv := MovesCSV([]MoveOverheadRow{{"X", 0.02, 0.01}})
+	if !strings.Contains(mv, "X,0.020000,0.010000") {
+		t.Errorf("moves csv:\n%s", mv)
+	}
+	w := WidthCSV([]WidthRow{{8, 0.3, 2.5}})
+	if !strings.Contains(w, "8,0.300000,2.500000") {
+		t.Errorf("width csv:\n%s", w)
+	}
+}

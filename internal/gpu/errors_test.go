@@ -1,0 +1,93 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/kernel"
+	"gscalar/internal/sm"
+)
+
+func TestRunRejectsInvalidLaunch(t *testing.T) {
+	prog, err := asm.Assemble("exit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []kernel.LaunchConfig{
+		{Grid: kernel.Dim{X: 0, Y: 1}, Block: kernel.Dim{X: 32, Y: 1}},
+		{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 0, Y: 1}},
+		{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 4096, Y: 1}},
+	}
+	for i, lc := range cases {
+		if _, err := Run(DefaultConfig(), sm.Baseline(), prog, &lc, kernel.NewMemory()); err == nil {
+			t.Errorf("case %d: invalid launch accepted", i)
+		}
+	}
+}
+
+func TestRunSurfacesKernelErrors(t *testing.T) {
+	// Shared-memory overflow is a runtime kernel error and must surface
+	// through Run with context, not panic.
+	prog, err := asm.Assemble(`
+	mov r1, 99999
+	lds r2, [r1]
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &kernel.LaunchConfig{
+		Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 32, Y: 1},
+		SharedBytes: 64,
+	}
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	_, err = Run(cfg, sm.GScalar(), prog, lc, kernel.NewMemory())
+	if err == nil {
+		t.Fatal("shared overflow not reported")
+	}
+	if !strings.Contains(err.Error(), "shared") {
+		t.Errorf("error lacks context: %v", err)
+	}
+}
+
+func TestRunMaxCyclesGuard(t *testing.T) {
+	prog, err := asm.Assemble("L:\nbra L\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 32, Y: 1}}
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	cfg.MaxCycles = 10_000
+	_, err = Run(cfg, sm.Baseline(), prog, lc, kernel.NewMemory())
+	if err == nil || !strings.Contains(err.Error(), "cycles") {
+		t.Fatalf("runaway kernel not caught: %v", err)
+	}
+}
+
+func TestRunEmptyGridEdge(t *testing.T) {
+	// Minimal 1-thread launch works.
+	prog, err := asm.Assemble(`
+	mov r1, 7
+	iadd r2, $0, 0
+	stg [r2], r1
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := kernel.NewMemory()
+	out := mem.Alloc(4)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 1, Y: 1}}
+	lc.Params[0] = out
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	if _, err := Run(cfg, sm.GScalar(), prog, lc, mem); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.ReadU32(out, 1)[0]; got != 7 {
+		t.Fatalf("out = %d", got)
+	}
+}

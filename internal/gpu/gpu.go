@@ -1,0 +1,146 @@
+// Package gpu assembles the full chip: SMs, the CTA dispatcher, and the
+// shared L2/DRAM memory system, and runs a kernel launch to completion
+// under a chosen architecture, producing cycle counts, statistics, and a
+// power breakdown.
+package gpu
+
+import (
+	"fmt"
+
+	"gscalar/internal/kernel"
+	"gscalar/internal/mem"
+	"gscalar/internal/power"
+	"gscalar/internal/sm"
+	"gscalar/internal/stats"
+)
+
+// Config is the chip-level configuration (Table 1).
+type Config struct {
+	NumSMs      int
+	CoreClockHz float64
+	SM          sm.Config
+	MemTiming   mem.Timing
+	L2Bytes     int
+	Energies    power.Energies
+	// MaxCycles aborts runaway simulations (0 = a large default).
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the GTX-480-like configuration of Table 1.
+func DefaultConfig() Config {
+	return Config{
+		NumSMs:      15,
+		CoreClockHz: 1.4e9,
+		SM:          sm.DefaultConfig(),
+		MemTiming:   mem.DefaultTiming(),
+		L2Bytes:     768 << 10,
+		Energies:    power.DefaultEnergies(),
+		MaxCycles:   0,
+	}
+}
+
+// Result summarises one simulated launch.
+type Result struct {
+	Cycles  uint64
+	Stats   stats.Sim
+	Power   power.Breakdown
+	IPC     float64 // committed warp instructions per cycle (chip-wide)
+	IPCPerW float64 // the paper's power-efficiency metric
+	EnergyJ float64
+}
+
+// Run simulates prog with launch lc on memory gmem under arch.
+func Run(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory) (Result, error) {
+	var meter power.Meter
+	r, err := runWithMeter(cfg, arch, prog, lc, gmem, &meter)
+	if err != nil {
+		return Result{}, err
+	}
+	staticW := cfg.Energies.StaticW(cfg.NumSMs, arch.HasCodec())
+	bd := meter.Finish(r.Cycles, cfg.CoreClockHz, staticW)
+	res := Result{
+		Cycles:  r.Cycles,
+		Stats:   r.Stats,
+		Power:   bd,
+		IPC:     r.Stats.IPC(),
+		EnergyJ: bd.EnergyJ,
+	}
+	if bd.AvgPowerW > 0 {
+		res.IPCPerW = res.IPC / bd.AvgPowerW
+	}
+	return res, nil
+}
+
+// rawResult is a simulation outcome before power finalisation, so launch
+// sequences can share one energy meter.
+type rawResult struct {
+	Cycles uint64
+	Stats  stats.Sim
+}
+
+// runWithMeter is the shared simulation loop: it deposits energy into the
+// caller's meter and returns cycle/statistics totals.
+func runWithMeter(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
+	if err := lc.Validate(cfg.SM.MaxWarps * cfg.SM.WarpSize); err != nil {
+		return rawResult{}, err
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 200_000_000
+	}
+
+	msys := mem.NewSystem(cfg.MemTiming, cfg.L2Bytes)
+	sms := make([]*sm.SM, cfg.NumSMs)
+	for i := range sms {
+		sms[i] = sm.New(i, cfg.SM, arch, cfg.Energies, prog, lc, gmem, msys, meter)
+	}
+
+	nextCTA := 0
+	totalCTAs := lc.Grid.Count()
+	var cycle uint64
+
+	for {
+		// Dispatch pending CTAs round-robin to SMs with capacity.
+		for nextCTA < totalCTAs {
+			assigned := false
+			for _, s := range sms {
+				if nextCTA >= totalCTAs {
+					break
+				}
+				if s.CanTakeCTA() {
+					s.LaunchCTA(nextCTA)
+					nextCTA++
+					assigned = true
+				}
+			}
+			if !assigned {
+				break
+			}
+		}
+
+		busy := false
+		for _, s := range sms {
+			s.Cycle(cycle)
+			if s.Err() != nil {
+				return rawResult{}, fmt.Errorf("gpu: cycle %d: %w", cycle, s.Err())
+			}
+			if s.Busy() {
+				busy = true
+			}
+		}
+		cycle++
+		if !busy && nextCTA >= totalCTAs {
+			break
+		}
+		if cycle >= maxCycles {
+			return rawResult{}, fmt.Errorf("gpu: exceeded %d cycles (deadlock or runaway kernel)", maxCycles)
+		}
+	}
+
+	var agg stats.Sim
+	for _, s := range sms {
+		agg.Add(s.Stats())
+	}
+	agg.Cycles = cycle
+	return rawResult{Cycles: cycle, Stats: agg}, nil
+}

@@ -1,0 +1,63 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gscalar/internal/kernel"
+	"gscalar/internal/power"
+	"gscalar/internal/sm"
+	"gscalar/internal/stats"
+)
+
+// Step is one kernel launch of a sequence.
+type Step struct {
+	Prog   *kernel.Program
+	Launch *kernel.LaunchConfig
+}
+
+// RunSequence simulates a dependent sequence of kernel launches sharing one
+// device memory — the way real applications run (e.g. srad's two passes, or
+// an iterative stencil). Launches are serialised by an implicit
+// device-level barrier, cycles accumulate across launches, and energy is
+// integrated over the whole sequence, so the returned Result is directly
+// comparable to a single-launch Run.
+func RunSequence(cfg Config, arch sm.Arch, gmem *kernel.Memory, steps []Step) (Result, error) {
+	if len(steps) == 0 {
+		return Result{}, fmt.Errorf("gpu: empty launch sequence")
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 200_000_000
+	}
+
+	var meter power.Meter
+	var agg stats.Sim
+	var totalCycles uint64
+	anyCodec := arch.HasCodec()
+
+	for i, st := range steps {
+		stepCfg := cfg
+		stepCfg.MaxCycles = maxCycles - totalCycles
+		r, err := runWithMeter(stepCfg, arch, st.Prog, st.Launch, gmem, &meter)
+		if err != nil {
+			return Result{}, fmt.Errorf("gpu: launch %d (%s): %w", i, st.Prog.Name, err)
+		}
+		totalCycles += r.Cycles
+		agg.Add(&r.Stats)
+	}
+	agg.Cycles = totalCycles
+
+	staticW := cfg.Energies.StaticW(cfg.NumSMs, anyCodec)
+	bd := meter.Finish(totalCycles, cfg.CoreClockHz, staticW)
+	res := Result{
+		Cycles:  totalCycles,
+		Stats:   agg,
+		Power:   bd,
+		IPC:     agg.IPC(),
+		EnergyJ: bd.EnergyJ,
+	}
+	if bd.AvgPowerW > 0 {
+		res.IPCPerW = res.IPC / bd.AvgPowerW
+	}
+	return res, nil
+}

@@ -1,0 +1,168 @@
+// Package kernel defines the program, launch-configuration and device-memory
+// abstractions shared by the assembler and the simulator.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"gscalar/internal/isa"
+)
+
+// Program is an assembled kernel: a flat instruction vector with resolved
+// branch targets and reconvergence PCs.
+type Program struct {
+	Name    string
+	Code    []isa.Instruction
+	Labels  map[string]int // label -> PC
+	NumRegs int            // highest GPR index used + 1
+}
+
+// At returns the instruction at pc.
+func (p *Program) At(pc int) *isa.Instruction { return &p.Code[pc] }
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return len(p.Code) }
+
+// Dim is a 2-D extent (x, y).
+type Dim struct{ X, Y int }
+
+// Count returns X*Y.
+func (d Dim) Count() int { return d.X * d.Y }
+
+// LaunchConfig describes one kernel launch.
+type LaunchConfig struct {
+	Grid        Dim                   // CTAs in the grid
+	Block       Dim                   // threads per CTA
+	Params      [isa.NumParams]uint32 // uniform 32-bit kernel parameters
+	SharedBytes int                   // shared memory per CTA
+}
+
+// Threads returns the total number of threads launched.
+func (lc LaunchConfig) Threads() int { return lc.Grid.Count() * lc.Block.Count() }
+
+// Validate checks structural constraints of the launch.
+func (lc LaunchConfig) Validate(maxThreadsPerCTA int) error {
+	if lc.Grid.X <= 0 || lc.Grid.Y <= 0 {
+		return fmt.Errorf("kernel: grid dims must be positive, got %dx%d", lc.Grid.X, lc.Grid.Y)
+	}
+	if lc.Block.X <= 0 || lc.Block.Y <= 0 {
+		return fmt.Errorf("kernel: block dims must be positive, got %dx%d", lc.Block.X, lc.Block.Y)
+	}
+	if n := lc.Block.Count(); n > maxThreadsPerCTA {
+		return fmt.Errorf("kernel: %d threads per CTA exceeds limit %d", n, maxThreadsPerCTA)
+	}
+	return nil
+}
+
+// Memory is the flat global device memory, addressed by 32-bit byte
+// addresses. Storage is paged so sparse address usage stays cheap.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+	next  uint32 // bump allocator cursor
+}
+
+const pageSize = 1 << 16
+
+// NewMemory returns an empty device memory. Address 0 is reserved (the bump
+// allocator starts at 256) so that a zero pointer is distinguishable.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte), next: 256}
+}
+
+// Alloc reserves n bytes and returns the base address, 256-byte aligned.
+func (m *Memory) Alloc(n int) uint32 {
+	const align = 256
+	base := (m.next + align - 1) &^ (align - 1)
+	m.next = base + uint32(n)
+	return base
+}
+
+func (m *Memory) page(addr uint32) *[pageSize]byte {
+	id := addr / pageSize
+	p := m.pages[id]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[id] = p
+	}
+	return p
+}
+
+// Load32 reads the 4-byte little-endian word at addr.
+func (m *Memory) Load32(addr uint32) uint32 {
+	off := addr % pageSize
+	if off <= pageSize-4 {
+		p := m.page(addr)
+		return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(m.load8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Store32 writes the 4-byte little-endian word v at addr.
+func (m *Memory) Store32(addr uint32, v uint32) {
+	off := addr % pageSize
+	if off <= pageSize-4 {
+		p := m.page(addr)
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		return
+	}
+	for i := uint32(0); i < 4; i++ {
+		m.store8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+func (m *Memory) load8(addr uint32) byte     { return m.page(addr)[addr%pageSize] }
+func (m *Memory) store8(addr uint32, b byte) { m.page(addr)[addr%pageSize] = b }
+
+// WriteU32 stores the slice of words starting at base.
+func (m *Memory) WriteU32(base uint32, vals []uint32) {
+	for i, v := range vals {
+		m.Store32(base+uint32(i)*4, v)
+	}
+}
+
+// ReadU32 loads n words starting at base.
+func (m *Memory) ReadU32(base uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = m.Load32(base + uint32(i)*4)
+	}
+	return out
+}
+
+// WriteF32 stores float32 values starting at base.
+func (m *Memory) WriteF32(base uint32, vals []float32) {
+	for i, v := range vals {
+		m.Store32(base+uint32(i)*4, math.Float32bits(v))
+	}
+}
+
+// ReadF32 loads n float32 values starting at base.
+func (m *Memory) ReadF32(base uint32, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(m.Load32(base + uint32(i)*4))
+	}
+	return out
+}
+
+// AllocU32 allocates and initialises a word buffer, returning its base.
+func (m *Memory) AllocU32(vals []uint32) uint32 {
+	base := m.Alloc(len(vals) * 4)
+	m.WriteU32(base, vals)
+	return base
+}
+
+// AllocF32 allocates and initialises a float buffer, returning its base.
+func (m *Memory) AllocF32(vals []float32) uint32 {
+	base := m.Alloc(len(vals) * 4)
+	m.WriteF32(base, vals)
+	return base
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Store32(0x1000, 0xDEADBEEF)
+	if got := m.Load32(0x1000); got != 0xDEADBEEF {
+		t.Fatalf("load = %#x", got)
+	}
+	// Little-endian byte order.
+	if got := m.Load32(0x1001); got != 0x00DEADBE {
+		t.Fatalf("offset load = %#x", got)
+	}
+}
+
+func TestMemoryPageBoundary(t *testing.T) {
+	const edge = 1<<16 - 2 // straddles two pages
+	m := NewMemory()
+	m.Store32(edge, 0x11223344)
+	if got := m.Load32(edge); got != 0x11223344 {
+		t.Fatalf("straddle load = %#x", got)
+	}
+}
+
+func TestMemoryPropertyRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint32, v uint32) bool {
+		m.Store32(addr, v)
+		return m.Load32(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocAlignmentAndSeparation(t *testing.T) {
+	m := NewMemory()
+	a := m.Alloc(100)
+	b := m.Alloc(10)
+	if a%256 != 0 || b%256 != 0 {
+		t.Fatalf("allocations not 256-aligned: %#x %#x", a, b)
+	}
+	if b < a+100 {
+		t.Fatalf("allocations overlap: %#x %#x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("address 0 must be reserved")
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	m := NewMemory()
+	u := []uint32{1, 2, 3, 4, 5}
+	base := m.AllocU32(u)
+	got := m.ReadU32(base, len(u))
+	for i := range u {
+		if got[i] != u[i] {
+			t.Fatalf("u32[%d] = %d", i, got[i])
+		}
+	}
+	f := []float32{1.5, -2.25, float32(math.Inf(1))}
+	fb := m.AllocF32(f)
+	gf := m.ReadF32(fb, len(f))
+	for i := range f {
+		if gf[i] != f[i] && !(math.IsNaN(float64(gf[i])) && math.IsNaN(float64(f[i]))) {
+			t.Fatalf("f32[%d] = %v", i, gf[i])
+		}
+	}
+}
+
+func TestLaunchValidate(t *testing.T) {
+	ok := LaunchConfig{Grid: Dim{X: 2, Y: 2}, Block: Dim{X: 16, Y: 8}}
+	if err := ok.Validate(1536); err != nil {
+		t.Fatalf("valid launch rejected: %v", err)
+	}
+	bad := LaunchConfig{Grid: Dim{X: 0, Y: 1}, Block: Dim{X: 16, Y: 1}}
+	if err := bad.Validate(1536); err == nil {
+		t.Fatal("zero grid accepted")
+	}
+	big := LaunchConfig{Grid: Dim{X: 1, Y: 1}, Block: Dim{X: 2048, Y: 1}}
+	if err := big.Validate(1536); err == nil {
+		t.Fatal("oversized CTA accepted")
+	}
+	if ok.Threads() != 4*128 {
+		t.Fatalf("threads = %d", ok.Threads())
+	}
+}

@@ -1,0 +1,211 @@
+// Package mem models the GPU memory subsystem: per-warp address coalescing,
+// a set-associative write-through L1 per SM, a shared banked L2, an
+// interconnect, and a bandwidth-limited multi-channel DRAM. Timing is
+// latency+queue based: an access returns the cycle its data arrives back at
+// the SM, and DRAM channels serialise transactions at their burst rate.
+package mem
+
+import (
+	"sort"
+)
+
+// LineSize is the memory transaction granularity in bytes (one L1/L2 line).
+const LineSize = 128
+
+// Coalesce reduces the per-lane byte addresses of a warp memory access to
+// the set of distinct LineSize-aligned transactions, in ascending order.
+// Only lanes selected by active are considered. The paper's baseline memory
+// pipeline performs exactly this coalescing; a scalar-eligible memory
+// instruction produces one transaction.
+func Coalesce(addrs []uint32, active uint64) []uint32 {
+	var lines []uint32
+	seen := make(map[uint32]struct{}, 4)
+	for lane := 0; lane < len(addrs); lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		line := addrs[lane] &^ (LineSize - 1)
+		if _, ok := seen[line]; !ok {
+			seen[line] = struct{}{}
+			lines = append(lines, line)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It tracks
+// tags only (data is functionally held by kernel.Memory).
+type Cache struct {
+	sets     [][]cacheLine
+	assoc    int
+	setShift uint
+	setMask  uint32
+}
+
+type cacheLine struct {
+	tag   uint32
+	valid bool
+	lru   uint64
+}
+
+// NewCache builds a cache of capacity bytes with the given associativity
+// and LineSize lines. capacity must be a multiple of assoc*LineSize.
+func NewCache(capacity, assoc int) *Cache {
+	nsets := capacity / (assoc * LineSize)
+	if nsets < 1 {
+		nsets = 1
+	}
+	// Round down to a power of two for cheap indexing.
+	for nsets&(nsets-1) != 0 {
+		nsets &= nsets - 1
+	}
+	c := &Cache{
+		sets:  make([][]cacheLine, nsets),
+		assoc: assoc,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, assoc)
+	}
+	shift := uint(7) // log2(LineSize)
+	c.setShift = shift
+	c.setMask = uint32(nsets - 1)
+	return c
+}
+
+var lruClock uint64
+
+// Lookup probes for the line containing addr, allocating it on a miss when
+// allocate is set. It reports whether the access hit.
+func (c *Cache) Lookup(addr uint32, allocate bool) bool {
+	set := c.sets[(addr>>c.setShift)&c.setMask]
+	tag := addr >> c.setShift
+	lruClock++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = lruClock
+			return true
+		}
+	}
+	if allocate {
+		victim := 0
+		for i := 1; i < len(set); i++ {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		set[victim] = cacheLine{tag: tag, valid: true, lru: lruClock}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr if present (used by
+// write-evict stores).
+func (c *Cache) Invalidate(addr uint32) {
+	set := c.sets[(addr>>c.setShift)&c.setMask]
+	tag := addr >> c.setShift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+		}
+	}
+}
+
+// Timing holds the latency/bandwidth parameters of the memory system, in
+// core cycles. The NoC runs at half the core clock (Table 1); its cost is
+// folded into the latencies.
+type Timing struct {
+	L1HitLatency  int
+	SharedLatency int
+	NoCLatency    int // SM <-> L2 one-way
+	L2Latency     int
+	DRAMLatency   int
+	DRAMBurst     int // channel occupancy per 128-byte transaction
+	NumChannels   int
+}
+
+// DefaultTiming returns GTX-480-like parameters.
+func DefaultTiming() Timing {
+	return Timing{
+		L1HitLatency:  30,
+		SharedLatency: 24,
+		NoCLatency:    40,
+		L2Latency:     80,
+		DRAMLatency:   220,
+		DRAMBurst:     6,
+		NumChannels:   6,
+	}
+}
+
+// AccessKind discriminates the outcome of a global access for statistics
+// and energy accounting.
+type AccessKind uint8
+
+// Access outcomes.
+const (
+	AccessL1Hit AccessKind = iota
+	AccessL2Hit
+	AccessDRAM
+)
+
+// System is the shared (chip-level) part of the memory hierarchy: L2 and
+// DRAM channels. SMs own their L1s and call into System on misses.
+type System struct {
+	timing   Timing
+	l2       *Cache
+	chanFree []uint64
+}
+
+// NewSystem builds the chip memory system with an l2Bytes L2.
+func NewSystem(timing Timing, l2Bytes int) *System {
+	return &System{
+		timing:   timing,
+		l2:       NewCache(l2Bytes, 16),
+		chanFree: make([]uint64, timing.NumChannels),
+	}
+}
+
+// channelOf statically maps a line address to a DRAM channel.
+func (s *System) channelOf(line uint32) int {
+	return int(line/LineSize) % s.timing.NumChannels
+}
+
+// AccessL2 performs the post-L1 part of a global access starting at core
+// cycle now, returning the cycle the data is available back at the SM and
+// how deep the access went. Writes are write-through to DRAM (no L2
+// allocate on store miss), loads allocate in L2.
+func (s *System) AccessL2(now uint64, line uint32, write bool) (done uint64, kind AccessKind) {
+	t := s.timing
+	arriveL2 := now + uint64(t.NoCLatency)
+	if s.l2.Lookup(line, !write) {
+		if write {
+			// Write hit updates L2 and drains to DRAM in the background;
+			// the SM does not wait for DRAM.
+			s.drainToDRAM(arriveL2, line)
+		}
+		return arriveL2 + uint64(t.L2Latency) + uint64(t.NoCLatency), AccessL2Hit
+	}
+	// L2 miss: go to the line's DRAM channel, serialised at burst rate.
+	ready := s.drainToDRAM(arriveL2+uint64(t.L2Latency), line)
+	return ready + uint64(t.NoCLatency), AccessDRAM
+}
+
+// drainToDRAM occupies the line's channel and returns when the transaction
+// completes (including DRAM latency).
+func (s *System) drainToDRAM(at uint64, line uint32) uint64 {
+	t := s.timing
+	ch := s.channelOf(line)
+	start := at
+	if s.chanFree[ch] > start {
+		start = s.chanFree[ch]
+	}
+	s.chanFree[ch] = start + uint64(t.DRAMBurst)
+	return start + uint64(t.DRAMBurst) + uint64(t.DRAMLatency)
+}
+
+// Timing returns the system's timing parameters.
+func (s *System) Timing() Timing { return s.timing }

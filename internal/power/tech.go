@@ -1,0 +1,67 @@
+package power
+
+// Table 3 of the paper: synthesis results for the compressor and
+// decompressor with a commercial 40 nm standard-cell library at 1.4 GHz,
+// including the 1024-bit pipeline registers. These are consumed as model
+// inputs, exactly as GPUWattch consumes McPAT/compiler outputs.
+const (
+	// DecompressorAreaUM2 is the decompressor area in µm².
+	DecompressorAreaUM2 = 7332.0
+	// CompressorAreaUM2 is the compressor area in µm² (includes the
+	// broadcasting logic of Figure 7).
+	CompressorAreaUM2 = 11624.0
+	// DecompressorDelayNS / CompressorDelayNS are critical-path delays.
+	DecompressorDelayNS = 0.35
+	CompressorDelayNS   = 0.67
+	// DecompressorPowerMW / CompressorPowerMW at 1.4 GHz.
+	DecompressorPowerMW = 15.86
+	CompressorPowerMW   = 16.22
+
+	// DecompressorsPerSM: one per operand collector (16 OCs per SM).
+	DecompressorsPerSM = 16
+	// CompressorsPerSM: one per SIMT execution pipeline (2 ALU + 1 MEM +
+	// 1 SFU).
+	CompressorsPerSM = 4
+
+	// BVREBRAccessFrac: accessing one 38-bit BVR/EBR entry costs 5.2 % of
+	// accessing an entire 1024-bit vector register in a bank (§5.1).
+	BVREBRAccessFrac = 0.052
+
+	// RFAreaGrowthFrac: the BVR/EBR array grows the register file by ~3 %
+	// (7 % with the second half-register set, §4.3).
+	RFAreaGrowthFrac     = 0.03
+	RFAreaGrowthHalfFrac = 0.07
+
+	// Chip-level codec cost relative to a baseline SM (§5.1).
+	CodecPowerPerSMW  = 0.32
+	CodecPowerFrac    = 0.016
+	CodecAreaPerSMMM2 = 0.16
+	CodecAreaFrac     = 0.007
+
+	// ExtraPipelineCycles is the added pipeline depth: one cycle each for
+	// reading the EBR, decompressing, and compressing (§5.1).
+	ExtraPipelineCycles = 3
+)
+
+// CodecChipCost summarises Table 3 scaled to a whole SM/chip, for the
+// Table 3 regeneration target.
+type CodecChipCost struct {
+	DecompressorsPerSM, CompressorsPerSM int
+	TotalAreaMM2PerSM                    float64
+	TotalPowerWPerSM                     float64
+	AreaFracOfSM, PowerFracOfSM          float64
+}
+
+// Table3Cost derives the per-SM codec cost from the Table 3 constants.
+func Table3Cost() CodecChipCost {
+	areaUM2 := DecompressorsPerSM*DecompressorAreaUM2 + CompressorsPerSM*CompressorAreaUM2
+	powerMW := DecompressorsPerSM*DecompressorPowerMW + CompressorsPerSM*CompressorPowerMW
+	return CodecChipCost{
+		DecompressorsPerSM: DecompressorsPerSM,
+		CompressorsPerSM:   CompressorsPerSM,
+		TotalAreaMM2PerSM:  areaUM2 * 1e-6,
+		TotalPowerWPerSM:   powerMW * 1e-3,
+		AreaFracOfSM:       CodecAreaFrac,
+		PowerFracOfSM:      CodecPowerFrac,
+	}
+}

@@ -1,0 +1,146 @@
+// Package regfile models the banked register file of §2.1/§3.2: 16 banks of
+// eight 128-bit single-port SRAM arrays in the byte-plane-reordered layout,
+// each bank paired with a small BVR/EBR array, plus (for the prior-work
+// comparator) a single dedicated scalar bank. It arbitrates per-cycle port
+// grants and composes the energy cost of each access from the core
+// compression model's array counts.
+package regfile
+
+import (
+	"gscalar/internal/core"
+	"gscalar/internal/power"
+)
+
+// Port identifies which structure a register access uses.
+type Port uint8
+
+// Ports.
+const (
+	// PortMain is a bank's main SRAM arrays (one access per bank per cycle;
+	// the paired BVR/EBR entry rides along).
+	PortMain Port = iota
+	// PortBVR is a bank's base-value/encoding-bit small array alone — a
+	// compressed-scalar access. It has its own port, which is why G-Scalar
+	// "effectively provides 16 banks for scalar values" (§4.1).
+	PortBVR
+	// PortScalarBank is the Gilani baseline's single dedicated scalar bank,
+	// serving one access per cycle for the whole SM.
+	PortScalarBank
+)
+
+// File is the per-SM register-file arbitration state.
+type File struct {
+	banks      int
+	mainBusy   []bool
+	bvrBusy    []bool
+	scalarBusy bool
+}
+
+// New creates the arbitration state for the given bank count.
+func New(banks int) *File {
+	return &File{
+		banks:    banks,
+		mainBusy: make([]bool, banks),
+		bvrBusy:  make([]bool, banks),
+	}
+}
+
+// Banks returns the number of banks.
+func (f *File) Banks() int { return f.banks }
+
+// NewCycle releases all port grants for the next cycle.
+func (f *File) NewCycle() {
+	for i := 0; i < f.banks; i++ {
+		f.mainBusy[i] = false
+		f.bvrBusy[i] = false
+	}
+	f.scalarBusy = false
+}
+
+// TryServe attempts to grant the given port of the given bank this cycle.
+func (f *File) TryServe(bank int, port Port) bool {
+	switch port {
+	case PortMain:
+		if f.mainBusy[bank] {
+			return false
+		}
+		f.mainBusy[bank] = true
+	case PortBVR:
+		if f.bvrBusy[bank] {
+			return false
+		}
+		f.bvrBusy[bank] = true
+	case PortScalarBank:
+		if f.scalarBusy {
+			return false
+		}
+		f.scalarBusy = true
+	}
+	return true
+}
+
+// BankOf maps an architectural register of a warp to its bank, using the
+// register-index-plus-warp-id interleaving GPGPU-Sim uses.
+func BankOf(reg uint8, warpGlobalID, banks int) int {
+	return (int(reg) + warpGlobalID) % banks
+}
+
+// Access is the energy decomposition of one register-file access.
+type Access struct {
+	Port       Port
+	Bank       int
+	ArrayPJ    float64 // main SRAM array activation energy
+	BVRPJ      float64 // BVR/EBR small-array energy
+	XbarBytes  int     // bytes moved through the crossbar
+	Decompress bool    // exercises the decompressor (Figure 5)
+}
+
+// ReadAccess composes the access for a byte-wise-compressed register read.
+func ReadAccess(reg uint8, warpGlobalID int, banks int, rc core.ReadCost, en power.Energies) Access {
+	a := Access{
+		Bank:      BankOf(reg, warpGlobalID, banks),
+		ArrayPJ:   float64(rc.ArraysRead) * en.RFArrayAccess,
+		XbarBytes: rc.CrossbarBytes,
+	}
+	if rc.ArraysRead == 0 {
+		a.Port = PortBVR
+	} else {
+		a.Port = PortMain
+	}
+	if rc.BVREBRRead {
+		a.BVRPJ = en.RFBVRAccess
+	}
+	a.Decompress = rc.Decompress
+	return a
+}
+
+// BaselineReadAccess composes a full uncompressed register read (all arrays
+// of the bank, full crossbar traffic).
+func BaselineReadAccess(reg uint8, warpGlobalID, banks, warpSize int, en power.Energies) Access {
+	arrays := core.Groups(warpSize) * core.WordBytes
+	return Access{
+		Port:      PortMain,
+		Bank:      BankOf(reg, warpGlobalID, banks),
+		ArrayPJ:   float64(arrays) * en.RFArrayAccess,
+		XbarBytes: warpSize * core.WordBytes,
+	}
+}
+
+// BDIReadAccess composes a Warped-Compression (BDI) register read: arrays
+// proportional to the compressed footprint, plus the BDI unpacker energy
+// (booked by the caller as codec energy).
+func BDIReadAccess(reg uint8, warpGlobalID, banks, compressedBytes int, en power.Energies) Access {
+	arrays := (compressedBytes + 15) / 16
+	return Access{
+		Port:      PortMain,
+		Bank:      BankOf(reg, warpGlobalID, banks),
+		ArrayPJ:   float64(arrays)*en.RFArrayAccess + en.BDICodecUse,
+		XbarBytes: compressedBytes,
+	}
+}
+
+// ScalarBankAccess composes a read/write of the Gilani baseline's dedicated
+// scalar bank.
+func ScalarBankAccess(en power.Energies) Access {
+	return Access{Port: PortScalarBank, ArrayPJ: en.RFScalarBankAccess}
+}

@@ -1,0 +1,262 @@
+package sm
+
+import (
+	"fmt"
+	"sort"
+
+	"gscalar/internal/core"
+	"gscalar/internal/isa"
+	"gscalar/internal/power"
+	"gscalar/internal/regfile"
+	"gscalar/internal/warp"
+)
+
+// issue runs each warp scheduler: greedy-then-oldest (GTO) selection, one
+// instruction per scheduler per cycle. The front end can therefore issue up
+// to Schedulers instructions per cycle, matching §4.1's observation that it
+// bounds the benefit of extra scalar pipelines.
+func (s *SM) issue() {
+	for sched := 0; sched < s.cfg.Schedulers; sched++ {
+		s.issueFrom(sched)
+	}
+}
+
+// issueFrom tries to issue one instruction from scheduler sched's warps.
+func (s *SM) issueFrom(sched int) {
+	last := s.lastIssued[sched]
+	if s.cfg.Sched == SchedGTO && last >= 0 && s.tryIssueWarp(sched, last) {
+		// Greedy: stick with the last warp while it can issue.
+		return
+	}
+	type cand struct{ wi, key int }
+	var cands []cand
+	for wi := sched; wi < len(s.warps); wi += s.cfg.Schedulers {
+		wc := &s.warps[wi]
+		if !wc.valid || wc.done || (s.cfg.Sched == SchedGTO && wi == last) {
+			continue
+		}
+		key := wc.w.GlobalID
+		if s.cfg.Sched == SchedLRR {
+			// Round-robin: order by distance from the warp after the last
+			// issued one.
+			key = (wi - last - 1 + len(s.warps)) % len(s.warps)
+		}
+		cands = append(cands, cand{wi, key})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+	for _, c := range cands {
+		if s.tryIssueWarp(sched, c.wi) {
+			return
+		}
+	}
+}
+
+// tryIssueWarp attempts to issue the next instruction of warp slot wi.
+func (s *SM) tryIssueWarp(sched, wi int) bool {
+	wc := &s.warps[wi]
+	if !wc.valid || wc.done {
+		return false
+	}
+	if wc.w.Status() != warp.StatusReady {
+		return false
+	}
+	pc, in, active, ok := wc.w.Peek(&wc.ctx)
+	if !ok {
+		s.retireWarp(wi)
+		return false
+	}
+
+	// Scoreboard: no bypassing — sources, destination and guard must not be
+	// pending (RAW/WAW).
+	if s.hazard(wc, in) {
+		s.st.IssueStallScoreboard++
+		return false
+	}
+
+	isCtrl := in.Class() == isa.ClassCtrl || in.Op == isa.OpNop
+
+	var free int
+	if !isCtrl {
+		free = s.freeCollector()
+		if free < 0 {
+			s.st.IssueStallOC++
+			return false
+		}
+	}
+
+	// §3.3: a divergent write to a compressed register must first be
+	// decompressed by an injected special move — unless the compiler-
+	// assisted analysis proved the register's previous value dead.
+	if s.arch.RVC == RVCByteWise {
+		if dst, writes := in.WritesReg(); writes && active != wc.w.LiveMask &&
+			wc.meta.NeedsDecompressMove(int(dst), s.arch.F) {
+			if s.deadOnWrite != nil && s.deadOnWrite[pc] {
+				// Elided: the stale inactive-lane bytes are unobservable;
+				// the divergent write lands uncompressed without a
+				// read-modify-write.
+				wc.meta.DecompressInPlace(int(dst))
+				s.st.MovesElided++
+			} else {
+				s.injectMove(free, wi, dst)
+				s.lastIssued[sched] = wi
+				return true
+			}
+		}
+	}
+
+	// Figure 1 oracle: value-uniformity of divergent instructions' sources,
+	// sampled before execution (sources may alias the destination).
+	divergentOracle := false
+	if active != wc.w.LiveMask && !isCtrl {
+		divergentOracle = core.ValueScalarOracle(in, active, func(r uint8) []uint32 {
+			return wc.w.RegVec(r)
+		})
+	}
+
+	// Scalar-eligibility detection uses only EBR/BVR metadata, which is
+	// updated at writeback, so detecting before execution matches hardware.
+	elig := core.NotEligible
+	srfScalar := false
+	switch s.arch.Scalar {
+	case ScalarGS:
+		if !isCtrl {
+			elig = wc.meta.Detect(in, active, s.arch.F)
+		}
+	case ScalarPriorRF:
+		if !isCtrl {
+			srfScalar = wc.srf.Detect(in, active)
+		}
+	}
+	predUniform := false
+	if _, wp := in.WritesPred(); wp && s.arch.RVC == RVCByteWise {
+		predUniform = wc.meta.SourcesScalarForPred(in, active)
+	}
+
+	out, err := wc.w.Execute(&wc.ctx)
+	if err != nil {
+		s.fail(fmt.Errorf("sm%d warp %d: %w", s.ID, wc.w.GlobalID, err))
+		s.retireWarp(wi)
+		return false
+	}
+
+	// Statistics and front-end energy.
+	s.meter.Add(power.CompFrontEnd, s.en.FrontEndPerInst)
+	s.st.CountInst(in.Class(), warp.PopCount(out.Active), out.Divergent)
+	if out.Divergent && !isCtrl && divergentOracle {
+		s.st.DivergentValueScalar++
+	}
+	if s.arch.Scalar == ScalarGS {
+		s.st.CountEligibility(elig, in.Class())
+	} else if srfScalar {
+		s.st.EligFullALU++
+	}
+
+	if out.Exited {
+		s.retireWarp(wi)
+	}
+	if isCtrl {
+		// Branches, barriers, exits complete in the front end.
+		s.lastIssued[sched] = wi
+		return true
+	}
+
+	// Allocate the operand collector with the source-read plan, and mark
+	// the destination pending.
+	ce := &s.collectors[free]
+	*ce = collectorEntry{
+		valid: true, wi: wi, out: out, elig: elig,
+		srfScalar: srfScalar, predUniform: predUniform,
+	}
+	s.planReads(ce, wc, in, out)
+	if dst, w := in.WritesReg(); w {
+		wc.pendRegs |= 1 << dst
+	}
+	if p, w := in.WritesPred(); w {
+		wc.pendPreds |= 1 << p
+	}
+	s.lastIssued[sched] = wi
+	return true
+}
+
+// hazard reports whether the instruction has a scoreboard conflict.
+func (s *SM) hazard(wc *warpCtx, in *isa.Instruction) bool {
+	if in.Guard.On && wc.pendPreds&(1<<in.Guard.Reg) != 0 {
+		return true
+	}
+	for i := uint8(0); i < in.NSrc; i++ {
+		src := in.Srcs[i]
+		switch src.Kind {
+		case isa.OpdReg:
+			if wc.pendRegs&(1<<src.Reg) != 0 {
+				return true
+			}
+		case isa.OpdPred:
+			if wc.pendPreds&(1<<src.Reg) != 0 {
+				return true
+			}
+		}
+	}
+	if dst, w := in.WritesReg(); w && wc.pendRegs&(1<<dst) != 0 {
+		return true
+	}
+	if p, w := in.WritesPred(); w && wc.pendPreds&(1<<p) != 0 {
+		return true
+	}
+	return false
+}
+
+func (s *SM) freeCollector() int {
+	for i := range s.collectors {
+		if !s.collectors[i].valid {
+			return i
+		}
+	}
+	return -1
+}
+
+// injectMove issues the special decompressing register-to-register move of
+// §3.3 into collector slot free: it reads the compressed register, expands
+// it and writes it back uncompressed, ignoring the active mask.
+func (s *SM) injectMove(free, wi int, reg uint8) {
+	wc := &s.warps[wi]
+	s.meter.Add(power.CompFrontEnd, s.en.FrontEndPerInst)
+	s.st.InjectedMoves++
+
+	ce := &s.collectors[free]
+	*ce = collectorEntry{valid: true, wi: wi, isMove: true, moveReg: reg}
+	ce.out.DstReg = int(reg)
+	ce.out.Active = wc.w.LiveMask
+
+	rc := wc.meta.OnRead(int(reg), wc.w.LiveMask, s.arch.F, false)
+	ce.reads = append(ce.reads,
+		regfile.ReadAccess(reg, wc.w.GlobalID, s.cfg.NumBanks, rc, s.en))
+	wc.pendRegs |= 1 << reg
+}
+
+// planReads builds the source-read plan and records Figure 8 access
+// classes.
+func (s *SM) planReads(ce *collectorEntry, wc *warpCtx, in *isa.Instruction, out warp.Outcome) {
+	for i := uint8(0); i < in.NSrc; i++ {
+		src := in.Srcs[i]
+		if src.Kind != isa.OpdReg {
+			continue
+		}
+		s.meter.Add(power.CompOperandCollector, s.en.OCPerOperand)
+		var r regfile.Access
+		switch {
+		case s.arch.RVC == RVCByteWise:
+			rc := wc.meta.OnRead(int(src.Reg), out.Active, s.arch.F, out.Divergent)
+			s.st.RFReads[rc.Class]++
+			r = regfile.ReadAccess(src.Reg, wc.w.GlobalID, s.cfg.NumBanks, rc, s.en)
+		case s.arch.RVC == RVCBDI:
+			r = regfile.BDIReadAccess(src.Reg, wc.w.GlobalID, s.cfg.NumBanks,
+				wc.bdi.ReadBytes(int(src.Reg)), s.en)
+		case s.arch.Scalar == ScalarPriorRF && wc.srf.IsScalarReg(int(src.Reg)):
+			r = regfile.ScalarBankAccess(s.en)
+		default: // baseline register file
+			r = regfile.BaselineReadAccess(src.Reg, wc.w.GlobalID, s.cfg.NumBanks,
+				s.cfg.WarpSize, s.en)
+		}
+		ce.reads = append(ce.reads, r)
+	}
+}

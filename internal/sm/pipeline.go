@@ -1,0 +1,381 @@
+package sm
+
+import (
+	"gscalar/internal/core"
+	"gscalar/internal/isa"
+	"gscalar/internal/mem"
+	"gscalar/internal/power"
+	"gscalar/internal/regfile"
+	"gscalar/internal/warp"
+)
+
+// serveCollectors arbitrates register-bank ports among operand collectors
+// and dispatches entries whose operands are complete to the execution
+// units. Each bank serves one main-array access and one BVR/EBR access per
+// cycle (§4.1: the BVR arrays effectively provide 16 banks for scalar
+// values); the Gilani baseline's scalar bank serves a single access per
+// cycle SM-wide (the burst bottleneck).
+func (s *SM) serveCollectors() {
+	s.rf.NewCycle()
+
+	for ci := range s.collectors {
+		ce := &s.collectors[ci]
+		if !ce.valid {
+			continue
+		}
+		remaining := ce.reads[:0]
+		for _, r := range ce.reads {
+			if s.serveRead(r) {
+				continue
+			}
+			remaining = append(remaining, r)
+		}
+		ce.reads = remaining
+		if len(ce.reads) == 0 {
+			s.dispatch(ci)
+		}
+	}
+}
+
+// serveRead attempts one register read this cycle; it reports whether the
+// read was served and deposits its energy if so.
+func (s *SM) serveRead(r regfile.Access) bool {
+	if !s.rf.TryServe(r.Bank, r.Port) {
+		if r.Port == regfile.PortScalarBank {
+			s.st.ScalarBankConflicts++
+		}
+		return false
+	}
+	if r.Port == regfile.PortScalarBank {
+		s.meter.Add(power.CompRFScalarBank, r.ArrayPJ)
+	} else {
+		s.meter.Add(power.CompRFArray, r.ArrayPJ)
+	}
+	if r.BVRPJ > 0 {
+		s.meter.Add(power.CompRFBVR, r.BVRPJ)
+	}
+	s.meter.AddN(power.CompRFCrossbar, r.XbarBytes, s.en.RFCrossbarByte)
+	if r.Decompress {
+		s.meter.Add(power.CompCodec, s.en.DecompressorUse)
+	}
+	return true
+}
+
+// scalarLanes returns how many execution lanes the instruction activates.
+func (ce *collectorEntry) scalarLanes(width int) int {
+	switch {
+	case ce.isMove:
+		return 0 // the move is a register-file operation, not a lane op
+	case ce.srfScalar, ce.elig == core.EligibleFull, ce.elig == core.EligibleDivergent:
+		return 1
+	case ce.elig == core.EligibleHalf:
+		return core.Groups(width)
+	}
+	return warp.PopCount(ce.out.Active)
+}
+
+// occupancy returns how many cycles the instruction holds its unit's
+// dispatch port: a warp is fed over ceil(warpSize/width) cycles, and
+// unpipelined iterative divides block longer. Scalar execution does NOT
+// shorten the occupancy: G-Scalar clock-gates all but one lane of the
+// existing dispatch slots (§4.1), trading energy — not throughput — which
+// is why the paper reports a small net IPC *loss* (the +3-cycle latency)
+// rather than a speedup.
+func (s *SM) occupancy(ce *collectorEntry, unitWidth int) uint64 {
+	occ := uint64((s.cfg.WarpSize + unitWidth - 1) / unitWidth)
+	if ce.out.Inst != nil {
+		switch ce.out.Inst.Op {
+		case isa.OpIDiv, isa.OpIRem:
+			occ *= 8
+		case isa.OpFDiv:
+			occ *= 4
+		}
+	}
+	return occ
+}
+
+// dispatch sends a completed collector entry to its execution unit.
+func (s *SM) dispatch(ci int) {
+	ce := &s.collectors[ci]
+
+	var unit, width int
+	class := isa.ClassALU
+	if ce.out.Inst != nil {
+		class = ce.out.Inst.Class()
+	}
+	switch {
+	case ce.isMove:
+		unit, width = s.freeALU(), s.cfg.ALUWidth
+	case class == isa.ClassSFU:
+		unit, width = s.unitSFU(), s.cfg.SFUWidth
+	case class == isa.ClassMem:
+		unit, width = s.unitMem(), s.cfg.MemWidth
+	default:
+		unit, width = s.freeALU(), s.cfg.ALUWidth
+	}
+	if unit < 0 || s.unitBusy[unit] > s.now {
+		s.st.IssueStallUnit++
+		return
+	}
+
+	occ := s.occupancy(ce, width)
+	extra := uint64(s.arch.ExtraLatency)
+
+	ev := wbEvent{
+		wi: ce.wi, out: ce.out, elig: ce.elig, srfScalar: ce.srfScalar,
+		isMove: ce.isMove, moveReg: ce.moveReg, predUniform: ce.predUniform,
+	}
+
+	if class == isa.ClassMem && !ce.isMove {
+		done, mshrs, ok := s.dispatchMem(ce, occ, extra)
+		if !ok {
+			s.st.IssueStallUnit++
+			return // MSHRs full; retry next cycle
+		}
+		ev.done = done
+		ev.mshrs = mshrs
+	} else {
+		lat := basePipeDepth
+		if ce.out.Inst != nil {
+			lat += isa.Latency(ce.out.Inst.Op)
+		}
+		ev.done = s.now + occ + uint64(lat) + extra
+		s.execEnergy(ce, class)
+	}
+
+	s.unitBusy[unit] = s.now + occ
+	s.events = append(s.events, ev)
+	ce.valid = false
+}
+
+// freeALU returns a free ALU pipeline index, or -1.
+func (s *SM) freeALU() int {
+	for u := 0; u < s.cfg.ALUUnits; u++ {
+		if s.unitBusy[u] <= s.now {
+			return u
+		}
+	}
+	return -1
+}
+
+// execEnergy deposits the execution-lane energy of a non-memory
+// instruction. Per-lane clock gating means only active lanes consume; a
+// scalar execution activates one lane (two for half-warp scalar).
+func (s *SM) execEnergy(ce *collectorEntry, class isa.Class) {
+	if ce.isMove || ce.out.Inst == nil {
+		return
+	}
+	lanes := ce.scalarLanes(s.cfg.WarpSize)
+	comp := power.CompExecALU
+	e := s.en.LaneInt
+	switch {
+	case class == isa.ClassSFU:
+		comp, e = power.CompExecSFU, s.en.LaneSFU
+	case isFloatOp(ce.out.Inst.Op):
+		e = s.en.LaneFP
+	case ce.out.Inst.Op == isa.OpIDiv || ce.out.Inst.Op == isa.OpIRem:
+		e = s.en.LaneDiv
+	}
+	s.meter.AddN(comp, lanes, e)
+}
+
+func isFloatOp(op isa.Opcode) bool {
+	return op >= isa.OpFAdd && op <= isa.OpF2I
+}
+
+// dispatchMem models the memory pipeline: address generation, coalescing,
+// L1, and the shared L2/DRAM system. It returns the completion cycle and
+// the number of MSHRs held (for loads).
+func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, mshrs int, ok bool) {
+	in := ce.out.Inst
+	t := s.msys.Timing()
+
+	// Address generation: one AGU lane per active lane; scalar memory
+	// instructions compute a single address (§5.2).
+	agus := ce.scalarLanes(s.cfg.WarpSize)
+	s.meter.AddN(power.CompLSU, agus, s.en.AGUPerLane)
+
+	if !in.IsGlobalMem() {
+		s.meter.Add(power.CompSharedMem, s.en.SharedAccess)
+		return s.now + occ + uint64(t.SharedLatency) + extra, 0, true
+	}
+
+	txs := mem.Coalesce(ce.out.Addrs, ce.out.Active)
+	isLoad := in.IsLoad()
+	// A request larger than the whole MSHR file (possible with wide warps
+	// and fully-diverged gathers) must still make progress: it dispatches
+	// once the file has drained.
+	if isLoad && s.outstanding > 0 && s.outstanding+len(txs) > s.cfg.MaxMSHRs {
+		return 0, 0, false
+	}
+
+	latest := s.now + occ
+	for _, line := range txs {
+		s.st.L1Accesses++
+		s.meter.Add(power.CompL1, s.en.L1Access)
+		var txDone uint64
+		if isLoad {
+			if s.l1.Lookup(line, true) {
+				txDone = s.now + occ + uint64(t.L1HitLatency)
+				// MSHR merging: the line may still be in flight from an
+				// earlier miss; the merged access waits for the fill.
+				if fill, ok := s.fills[line]; ok {
+					if fill > txDone {
+						txDone = fill
+						s.st.MSHRMerges++
+					} else {
+						delete(s.fills, line)
+					}
+				}
+			} else {
+				s.st.L1Misses++
+				txDone = s.memBeyondL1(line, false)
+				s.fills[line] = txDone
+			}
+		} else {
+			// Write-through, write-evict: the store drains towards DRAM in
+			// the background; the warp does not wait on it.
+			s.l1.Invalidate(line)
+			s.memBeyondL1(line, true)
+			txDone = s.now + occ + 1
+		}
+		if txDone > latest {
+			latest = txDone
+		}
+	}
+	if isLoad {
+		s.outstanding += len(txs)
+		mshrs = len(txs)
+	}
+	return latest + extra, mshrs, true
+}
+
+// memBeyondL1 sends one transaction into the L2/DRAM system, accounting
+// energy by how deep it went, and returns its completion cycle.
+func (s *SM) memBeyondL1(line uint32, write bool) uint64 {
+	done, kind := s.msys.AccessL2(s.now, line, write)
+	s.st.L2Accesses++
+	s.meter.AddN(power.CompNoC, mem.LineSize, s.en.NoCPerByte)
+	s.meter.Add(power.CompL2, s.en.L2Access)
+	if kind == mem.AccessDRAM {
+		s.st.L2Misses++
+		s.st.DRAMTransactions++
+		s.meter.AddN(power.CompDRAM, mem.LineSize, s.en.DRAMPerByte)
+	}
+	return done
+}
+
+// processWritebacks retires events whose completion cycle has arrived:
+// scoreboard release, register-file write energy, and compression-metadata
+// update (the hardware's compressor stage).
+func (s *SM) processWritebacks() {
+	// Remove completed events from the list BEFORE handling them:
+	// completeEvent consults hasInFlight (via maybeRecycle), which must not
+	// see the event that is currently being retired.
+	var done []wbEvent
+	kept := s.events[:0]
+	for _, ev := range s.events {
+		if ev.done > s.now {
+			kept = append(kept, ev)
+		} else {
+			done = append(done, ev)
+		}
+	}
+	s.events = kept
+	for _, ev := range done {
+		s.completeEvent(ev)
+	}
+}
+
+func (s *SM) completeEvent(ev wbEvent) {
+	wc := &s.warps[ev.wi]
+
+	if ev.mshrs > 0 {
+		s.outstanding -= ev.mshrs
+	}
+
+	if ev.isMove {
+		// The special move writes the register back uncompressed.
+		full := core.Groups(s.cfg.WarpSize) * core.WordBytes
+		s.meter.AddN(power.CompRFArray, full, s.en.RFArrayAccess)
+		s.meter.AddN(power.CompRFCrossbar, full*16, s.en.RFCrossbarByte)
+		s.meter.Add(power.CompRFBVR, s.en.RFBVRAccess)
+		wc.meta.DecompressInPlace(int(ev.moveReg))
+		wc.pendRegs &^= 1 << ev.moveReg
+		s.maybeRecycle(ev.wi)
+		return
+	}
+
+	in := ev.out.Inst
+	if in != nil {
+		if dst, w := in.WritesReg(); w {
+			s.writebackReg(wc, ev, dst)
+			wc.pendRegs &^= 1 << dst
+		}
+		if p, w := in.WritesPred(); w {
+			if s.arch.RVC == RVCByteWise {
+				wc.meta.OnPredWrite(int(p), ev.out.Active, ev.predUniform)
+			}
+			wc.pendPreds &^= 1 << p
+		}
+	}
+	s.maybeRecycle(ev.wi)
+}
+
+// writebackReg applies the architecture's register-write energy and
+// metadata update.
+func (s *SM) writebackReg(wc *warpCtx, ev wbEvent, dst uint8) {
+	vec := ev.out.DstVec
+	active := ev.out.Active
+	switch {
+	case s.arch.RVC == RVCByteWise:
+		wb := wc.meta.OnWrite(int(dst), vec, active, s.arch.F, ev.elig == core.EligibleFull)
+		s.meter.AddN(power.CompRFArray, wb.ArraysWritten, s.en.RFArrayAccess)
+		s.meter.AddN(power.CompRFCrossbar, wb.ArraysWritten*16, s.en.RFCrossbarByte)
+		if wb.BVREBRWritten {
+			s.meter.Add(power.CompRFBVR, s.en.RFBVRAccess)
+		}
+		s.meter.Add(power.CompCodec, s.en.CompressorUse)
+		s.st.CompressedBits += uint64(wb.CompressedBits)
+		s.st.OriginalBits += uint64(wb.OriginalBits)
+
+	case s.arch.RVC == RVCBDI:
+		r := wc.bdi.OnWrite(int(dst), vec, active, wc.w.LiveMask)
+		arrays := (r.SizeBytes + 15) / 16
+		s.meter.AddN(power.CompRFArray, arrays, s.en.RFArrayAccess)
+		s.meter.AddN(power.CompRFCrossbar, r.SizeBytes, s.en.RFCrossbarByte)
+		s.meter.Add(power.CompCodec, s.en.BDICodecUse)
+		s.st.CompressedBits += uint64(r.SizeBytes * 8)
+		s.st.OriginalBits += uint64(s.cfg.WarpSize * core.WordBits)
+
+	case s.arch.Scalar == ScalarPriorRF:
+		wc.srf.OnWrite(int(dst), vec, active)
+		if wc.srf.IsScalarReg(int(dst)) {
+			s.meter.Add(power.CompRFScalarBank, s.en.RFScalarBankAccess)
+		} else {
+			s.baselineWrite(wc, int(dst), active)
+		}
+
+	default:
+		s.baselineWrite(wc, int(dst), active)
+	}
+}
+
+// baselineWrite accounts a write to the unmodified register file: the
+// word-interleaved arrays containing active lanes are activated. The cost
+// depends only on the active mask, not the values.
+func (s *SM) baselineWrite(wc *warpCtx, dst int, active warp.Mask) {
+	wb := wc.meta.OnWrite(dst, nil, active, core.Features{}, false)
+	s.meter.AddN(power.CompRFArray, wb.ArraysWritten, s.en.RFArrayAccess)
+	s.meter.AddN(power.CompRFCrossbar, wb.ArraysWritten*16, s.en.RFCrossbarByte)
+}
+
+// maybeRecycle frees a warp slot whose CTA finished while this event was in
+// flight.
+func (s *SM) maybeRecycle(wi int) {
+	wc := &s.warps[wi]
+	if wc.freeWhenDrained && !s.hasInFlight(wi) {
+		wc.valid = false
+		wc.freeWhenDrained = false
+	}
+}

@@ -1,0 +1,367 @@
+package sm
+
+import (
+	"fmt"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/baseline"
+	"gscalar/internal/core"
+	"gscalar/internal/kernel"
+	"gscalar/internal/mem"
+	"gscalar/internal/power"
+	"gscalar/internal/regfile"
+	"gscalar/internal/stats"
+	"gscalar/internal/warp"
+)
+
+// basePipeDepth is the issue-to-writeback overhead of the baseline pipeline
+// in cycles, on top of the per-opcode execution latency.
+const basePipeDepth = 6
+
+// collectorEntry is one operand collector: an issued instruction gathering
+// its source operands.
+type collectorEntry struct {
+	valid       bool
+	wi          int
+	out         warp.Outcome
+	elig        core.Eligibility
+	srfScalar   bool
+	isMove      bool
+	moveReg     uint8
+	predUniform bool
+	reads       []regfile.Access
+}
+
+// wbEvent is a scheduled completion (writeback) of a dispatched instruction.
+type wbEvent struct {
+	done        uint64
+	wi          int
+	out         warp.Outcome
+	elig        core.Eligibility
+	srfScalar   bool
+	isMove      bool
+	moveReg     uint8
+	predUniform bool
+	mshrs       int // outstanding-load transactions to release
+}
+
+// ctaSlot tracks one resident CTA.
+type ctaSlot struct {
+	active    bool
+	ctaID     int
+	shared    []uint32
+	warpSlots []int
+	liveWarps int
+}
+
+// warpCtx bundles a warp with its per-architecture register state.
+type warpCtx struct {
+	valid     bool
+	done      bool
+	w         *warp.Warp
+	ctx       warp.Context
+	meta      *core.WarpRegs
+	srf       *baseline.ScalarRF
+	bdi       *baseline.BDIRegFile
+	pendRegs  uint64
+	pendPreds uint8
+	ctaSlot   int
+	// freeWhenDrained marks a slot whose CTA finished while writebacks were
+	// still in flight; the slot is recycled once they drain.
+	freeWhenDrained bool
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID   int
+	cfg  Config
+	arch Arch
+	en   power.Energies
+
+	prog   *kernel.Program
+	launch *kernel.LaunchConfig
+	gmem   *kernel.Memory
+	msys   *mem.System
+	l1     *mem.Cache
+	meter  *power.Meter
+	st     stats.Sim
+
+	warps      []warpCtx
+	ctas       []ctaSlot
+	collectors []collectorEntry
+	// Unit indices: 0..ALUUnits-1 are ALU pipelines, then MEM, then SFU.
+	unitBusy []uint64
+	events   []wbEvent
+
+	outstanding   int
+	regBytesInUse int
+	deadOnWrite   []bool // §3.3 compiler-assisted elision table
+	// fills tracks in-flight L1 line fills so that a second access to a
+	// line already being fetched merges into the outstanding fill (MSHR
+	// merging) instead of observing an instant hit.
+	fills            map[uint32]uint64
+	scalarBankFreeAt uint64
+	lastIssued       []int
+	liveWarps        int
+	now              uint64
+
+	rf *regfile.File // per-cycle bank/port arbitration
+
+	err error
+}
+
+// New constructs an SM.
+func New(id int, cfg Config, arch Arch, en power.Energies, prog *kernel.Program,
+	launch *kernel.LaunchConfig, gmem *kernel.Memory, msys *mem.System, meter *power.Meter) *SM {
+	s := &SM{
+		ID:     id,
+		cfg:    cfg,
+		arch:   arch,
+		en:     en,
+		prog:   prog,
+		launch: launch,
+		gmem:   gmem,
+		msys:   msys,
+		l1:     mem.NewCache(cfg.L1Bytes, cfg.L1Assoc),
+		meter:  meter,
+	}
+	s.warps = make([]warpCtx, cfg.MaxWarps)
+	s.ctas = make([]ctaSlot, cfg.MaxCTAs)
+	s.collectors = make([]collectorEntry, cfg.NumCollectors)
+	s.unitBusy = make([]uint64, cfg.ALUUnits+2)
+	s.lastIssued = make([]int, cfg.Schedulers)
+	for i := range s.lastIssued {
+		s.lastIssued[i] = -1
+	}
+	s.rf = regfile.New(cfg.NumBanks)
+	s.fills = make(map[uint32]uint64)
+	if arch.CompilerMoveElision && arch.RVC == RVCByteWise {
+		s.deadOnWrite = asm.DeadOnWrite(prog)
+	}
+	return s
+}
+
+// Stats returns the SM's statistics accumulator.
+func (s *SM) Stats() *stats.Sim { return &s.st }
+
+// Err returns the first simulation error encountered, if any.
+func (s *SM) Err() error { return s.err }
+
+func (s *SM) unitMem() int { return s.cfg.ALUUnits }
+func (s *SM) unitSFU() int { return s.cfg.ALUUnits + 1 }
+
+// warpsPerCTA returns warps needed per CTA for the current launch.
+func (s *SM) warpsPerCTA() int {
+	return (s.launch.Block.Count() + s.cfg.WarpSize - 1) / s.cfg.WarpSize
+}
+
+// ctaRegBytes returns the register-file footprint of one CTA of the
+// current launch.
+func (s *SM) ctaRegBytes() int {
+	return s.warpsPerCTA() * s.cfg.WarpSize * s.prog.NumRegs * 4
+}
+
+// CanTakeCTA reports whether a new CTA fits: a free CTA slot, enough warp
+// slots, and enough register-file capacity.
+func (s *SM) CanTakeCTA() bool {
+	freeSlot := false
+	for i := range s.ctas {
+		if !s.ctas[i].active {
+			freeSlot = true
+			break
+		}
+	}
+	if !freeSlot {
+		return false
+	}
+	if s.cfg.RegFileBytes > 0 && s.regBytesInUse+s.ctaRegBytes() > s.cfg.RegFileBytes {
+		return false
+	}
+	free := 0
+	for i := range s.warps {
+		if !s.warps[i].valid {
+			free++
+		}
+	}
+	return free >= s.warpsPerCTA()
+}
+
+// LaunchCTA instantiates CTA ctaLinear on this SM.
+func (s *SM) LaunchCTA(ctaLinear int) {
+	slot := -1
+	for i := range s.ctas {
+		if !s.ctas[i].active {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		s.fail(fmt.Errorf("sm%d: LaunchCTA with no free slot", s.ID))
+		return
+	}
+	wpc := s.warpsPerCTA()
+	ws := warp.BuildCTA(s.prog, s.launch, ctaLinear, s.cfg.WarpSize, ctaLinear*wpc)
+	shared := make([]uint32, (s.launch.SharedBytes+3)/4)
+	cs := &s.ctas[slot]
+	*cs = ctaSlot{active: true, ctaID: ctaLinear, shared: shared, liveWarps: len(ws)}
+	s.regBytesInUse += s.ctaRegBytes()
+	for _, w := range ws {
+		wi := -1
+		for i := range s.warps {
+			if !s.warps[i].valid {
+				wi = i
+				break
+			}
+		}
+		if wi < 0 {
+			s.fail(fmt.Errorf("sm%d: no free warp slot", s.ID))
+			return
+		}
+		wc := &s.warps[wi]
+		*wc = warpCtx{
+			valid: true,
+			w:     w,
+			ctx: warp.Context{
+				Prog:   s.prog,
+				Launch: s.launch,
+				Global: s.gmem,
+				Shared: shared,
+			},
+			ctaSlot: slot,
+		}
+		wc.meta = core.NewWarpRegs(s.prog.NumRegs, 8, s.cfg.WarpSize, w.LiveMask)
+		switch {
+		case s.arch.Scalar == ScalarPriorRF:
+			wc.srf = baseline.NewScalarRF(s.prog.NumRegs, s.cfg.WarpSize, w.LiveMask)
+		case s.arch.RVC == RVCBDI:
+			wc.bdi = baseline.NewBDIRegFile(s.prog.NumRegs, s.cfg.WarpSize)
+		}
+		cs.warpSlots = append(cs.warpSlots, wi)
+		s.liveWarps++
+	}
+}
+
+// Busy reports whether the SM still has work.
+func (s *SM) Busy() bool {
+	return s.liveWarps > 0 || len(s.events) > 0
+}
+
+func (s *SM) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// retireWarp marks a warp finished and releases its CTA when empty. Warp
+// slots are only recycled once the whole CTA is done (so barrier accounting
+// never sees a reused slot) and the slot's in-flight writebacks drained.
+func (s *SM) retireWarp(wi int) {
+	wc := &s.warps[wi]
+	if wc.done {
+		return
+	}
+	wc.done = true
+	s.liveWarps--
+	cs := &s.ctas[wc.ctaSlot]
+	cs.liveWarps--
+	if cs.liveWarps == 0 {
+		for _, slot := range cs.warpSlots {
+			if s.hasInFlight(slot) {
+				s.warps[slot].freeWhenDrained = true
+			} else {
+				s.warps[slot].valid = false
+			}
+		}
+		cs.active = false
+		s.regBytesInUse -= s.ctaRegBytes()
+	}
+}
+
+func (s *SM) hasInFlight(wi int) bool {
+	for i := range s.events {
+		if s.events[i].wi == wi {
+			return true
+		}
+	}
+	for i := range s.collectors {
+		if s.collectors[i].valid && s.collectors[i].wi == wi {
+			return true
+		}
+	}
+	return false
+}
+
+// DebugState summarises the SM's occupancy for diagnostics.
+func (s *SM) DebugState() string {
+	validW, doneW, barrierW, drainW := 0, 0, 0, 0
+	pend := 0
+	for i := range s.warps {
+		wc := &s.warps[i]
+		if !wc.valid {
+			continue
+		}
+		validW++
+		if wc.done {
+			doneW++
+		} else if wc.w.Status() == warp.StatusBarrier {
+			barrierW++
+		}
+		if wc.freeWhenDrained {
+			drainW++
+		}
+		if wc.pendRegs != 0 || wc.pendPreds != 0 {
+			pend++
+		}
+	}
+	activeCTAs := 0
+	for i := range s.ctas {
+		if s.ctas[i].active {
+			activeCTAs++
+		}
+	}
+	coll := 0
+	for i := range s.collectors {
+		if s.collectors[i].valid {
+			coll++
+		}
+	}
+	return fmt.Sprintf("sm%d: live=%d valid=%d done=%d barrier=%d drain=%d pending=%d ctas=%d coll=%d events=%d mshr=%d",
+		s.ID, s.liveWarps, validW, doneW, barrierW, drainW, pend, activeCTAs, coll, len(s.events), s.outstanding)
+}
+
+// Cycle advances the SM by one core clock at time now.
+func (s *SM) Cycle(now uint64) {
+	s.now = now
+	s.processWritebacks()
+	s.serveCollectors()
+	s.issue()
+	s.releaseBarriers()
+}
+
+// releaseBarriers frees CTAs whose live warps have all arrived at bar.sync.
+func (s *SM) releaseBarriers() {
+	for ci := range s.ctas {
+		cs := &s.ctas[ci]
+		if !cs.active || cs.liveWarps == 0 {
+			continue
+		}
+		arrived := 0
+		for _, wi := range cs.warpSlots {
+			wc := &s.warps[wi]
+			if wc.done {
+				continue
+			}
+			if wc.w.Status() == warp.StatusBarrier {
+				arrived++
+			}
+		}
+		if arrived == cs.liveWarps {
+			for _, wi := range cs.warpSlots {
+				wc := &s.warps[wi]
+				if !wc.done && wc.w.Status() == warp.StatusBarrier {
+					wc.w.ClearBarrier()
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"gscalar/internal/core"
+	"gscalar/internal/isa"
+)
+
+func TestCountersAndFractions(t *testing.T) {
+	var s Sim
+	s.CountInst(isa.ClassALU, 32, false)
+	s.CountInst(isa.ClassALU, 16, true)
+	s.CountInst(isa.ClassSFU, 32, false)
+	s.CountInst(isa.ClassMem, 8, true)
+	if s.WarpInsts != 4 || s.ThreadInsts != 88 {
+		t.Fatalf("counts = %d/%d", s.WarpInsts, s.ThreadInsts)
+	}
+	if got := s.FracDivergent(); got != 0.5 {
+		t.Fatalf("divergent = %v", got)
+	}
+	s.Cycles = 2
+	if got := s.IPC(); got != 2 {
+		t.Fatalf("IPC = %v", got)
+	}
+}
+
+func TestEligibilityCounting(t *testing.T) {
+	var s Sim
+	s.CountEligibility(core.EligibleFull, isa.ClassALU)
+	s.CountEligibility(core.EligibleFull, isa.ClassSFU)
+	s.CountEligibility(core.EligibleFull, isa.ClassMem)
+	s.CountEligibility(core.EligibleHalf, isa.ClassALU)
+	s.CountEligibility(core.EligibleDivergent, isa.ClassALU)
+	s.CountEligibility(core.NotEligible, isa.ClassALU)
+	if s.EligFullALU != 1 || s.EligFullSFU != 1 || s.EligFullMem != 1 ||
+		s.EligHalf != 1 || s.EligDiv != 1 {
+		t.Fatalf("elig = %+v", s)
+	}
+	if s.EligibleTotal() != 5 {
+		t.Fatalf("total = %d", s.EligibleTotal())
+	}
+}
+
+func TestAddMerges(t *testing.T) {
+	var a, b Sim
+	a.CountInst(isa.ClassALU, 32, false)
+	a.RFReads[core.AccessScalar] = 3
+	a.CompressedBits = 100
+	a.OriginalBits = 400
+	b.CountInst(isa.ClassSFU, 32, true)
+	b.RFReads[core.AccessScalar] = 2
+	b.CompressedBits = 100
+	b.OriginalBits = 200
+	a.Add(&b)
+	if a.WarpInsts != 2 || a.RFReads[core.AccessScalar] != 5 {
+		t.Fatalf("merged = %+v", a)
+	}
+	if got := a.CompressionRatio(); got != 3 {
+		t.Fatalf("ratio = %v", got)
+	}
+}
+
+func TestRFReadFrac(t *testing.T) {
+	var s Sim
+	s.RFReads[core.AccessScalar] = 30
+	s.RFReads[core.Access3Byte] = 50
+	s.RFReads[core.AccessNone] = 20
+	if got := s.RFReadFrac(core.AccessScalar); got != 0.3 {
+		t.Fatalf("scalar frac = %v", got)
+	}
+	if got := s.RFReadFrac(core.Access2Byte); got != 0 {
+		t.Fatalf("empty frac = %v", got)
+	}
+}
+
+func TestZeroDivision(t *testing.T) {
+	var s Sim
+	if s.IPC() != 0 || s.FracDivergent() != 0 || s.MoveOverhead() != 0 {
+		t.Fatal("zero-value stats must not panic or NaN")
+	}
+	if s.CompressionRatio() != 1 {
+		t.Fatalf("empty ratio = %v", s.CompressionRatio())
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 3.14159)
+	tb.Row("b", 42)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "3.142") {
+		t.Errorf("float not formatted: %q", lines[2])
+	}
+	// Columns align: all rows have the same prefix width for column 2.
+	h := strings.Index(lines[0], "value")
+	v := strings.Index(lines[2], "3.142")
+	if h != v {
+		t.Errorf("columns misaligned: %d vs %d\n%s", h, v, out)
+	}
+}

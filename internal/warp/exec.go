@@ -1,0 +1,374 @@
+package warp
+
+import (
+	"fmt"
+	"math"
+
+	"gscalar/internal/isa"
+)
+
+// Execute functionally executes the warp's next instruction and advances the
+// SIMT stack. It returns an Outcome describing the dynamic instruction for
+// the timing and power models. Execute returns an error only for simulator
+// bugs or malformed programs (e.g. a PC out of range), never for ordinary
+// program behaviour.
+func (w *Warp) Execute(ctx *Context) (Outcome, error) {
+	pc, ok := w.NextPC()
+	if !ok {
+		return Outcome{}, fmt.Errorf("warp: execute on finished warp %s", w)
+	}
+	if pc < 0 || pc >= ctx.Prog.Len() {
+		return Outcome{}, fmt.Errorf("warp: pc %d out of range [0,%d) in %s", pc, ctx.Prog.Len(), w)
+	}
+	top := &w.stack[len(w.stack)-1]
+	in := ctx.Prog.At(pc)
+
+	issued := top.Mask
+	active := issued
+	if in.Guard.On {
+		active &= w.PredMask(in.Guard.Reg, in.Guard.Neg)
+	}
+
+	out := Outcome{
+		PC:     pc,
+		Inst:   in,
+		Active: active,
+		Issued: issued,
+		DstReg: -1,
+	}
+	out.Divergent = active != w.LiveMask
+
+	switch in.Op {
+	case isa.OpBra:
+		w.execBranch(in, top, active, &out)
+		return out, nil
+
+	case isa.OpExit:
+		w.execExit(active, top, &out)
+		return out, nil
+
+	case isa.OpBar:
+		top.PC = pc + 1
+		w.status = StatusBarrier
+		out.AtBarrier = true
+		return out, nil
+
+	case isa.OpNop, isa.OpVMov:
+		top.PC = pc + 1
+		return out, nil
+	}
+
+	// Value-producing and memory instructions.
+	top.PC = pc + 1
+	switch {
+	case in.IsLoad():
+		if err := w.execLoad(ctx, in, active, &out); err != nil {
+			return out, err
+		}
+	case in.IsStore():
+		if err := w.execStore(ctx, in, active, &out); err != nil {
+			return out, err
+		}
+	case in.Dst.Kind == isa.OpdPred:
+		w.execSetP(ctx, in, active)
+	default:
+		w.execALU(ctx, in, active, &out)
+	}
+	return out, nil
+}
+
+func (w *Warp) execBranch(in *isa.Instruction, top *StackEntry, taken Mask, out *Outcome) {
+	pc := top.PC
+	switch {
+	case taken == top.Mask:
+		// Uniformly taken.
+		top.PC = in.Target
+		out.TookBranch = true
+	case taken == 0:
+		// Uniformly not taken.
+		top.PC = pc + 1
+	default:
+		// Divergent: the executing entry becomes the reconvergence entry,
+		// and the two sides are pushed (not-taken below taken, matching the
+		// GPGPU-Sim PDOM stack).
+		out.BranchDiverged = true
+		out.TookBranch = true
+		top.PC = in.RPC // may be -1: both sides exit before reconverging
+		w.stack = append(w.stack,
+			StackEntry{PC: pc + 1, RPC: in.RPC, Mask: top.Mask &^ taken},
+			StackEntry{PC: in.Target, RPC: in.RPC, Mask: taken},
+		)
+	}
+}
+
+func (w *Warp) execExit(active Mask, top *StackEntry, out *Outcome) {
+	w.exited |= active
+	// Remove exited lanes from every stack entry.
+	for i := range w.stack {
+		w.stack[i].Mask &^= active
+	}
+	if top.Mask != 0 {
+		// Guarded exit with surviving lanes: they continue at pc+1.
+		top.PC = out.PC + 1
+	}
+	if _, ok := w.NextPC(); !ok {
+		out.Exited = true
+	}
+}
+
+func (w *Warp) execSetP(ctx *Context, in *isa.Instruction, active Mask) {
+	p := in.Dst.Reg
+	for lane := 0; lane < w.Width; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		a := w.operand(ctx, in.Srcs[0], lane)
+		b := w.operand(ctx, in.Srcs[1], lane)
+		var v bool
+		if in.Op == isa.OpISetP {
+			v = in.Cmp.Eval(int32(a), int32(b))
+		} else {
+			v = in.Cmp.EvalF(math.Float32frombits(a), math.Float32frombits(b))
+		}
+		w.setPred(lane, p, v)
+	}
+}
+
+func (w *Warp) execALU(ctx *Context, in *isa.Instruction, active Mask, out *Outcome) {
+	dst := in.Dst.Reg
+	vec := w.RegVec(dst)
+	for lane := 0; lane < w.Width; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		vec[lane] = w.evalALU(ctx, in, lane)
+	}
+	out.DstReg = int(dst)
+	out.DstVec = vec
+}
+
+func (w *Warp) evalALU(ctx *Context, in *isa.Instruction, lane int) uint32 {
+	a := uint32(0)
+	if in.NSrc > 0 {
+		a = w.operand(ctx, in.Srcs[0], lane)
+	}
+	var b, c uint32
+	if in.NSrc > 1 {
+		b = w.operand(ctx, in.Srcs[1], lane)
+	}
+	if in.NSrc > 2 && in.Op != isa.OpSelP {
+		c = w.operand(ctx, in.Srcs[2], lane)
+	}
+
+	switch in.Op {
+	case isa.OpMov:
+		return a
+	case isa.OpIAdd:
+		return a + b
+	case isa.OpISub:
+		return a - b
+	case isa.OpIMul:
+		return uint32(int32(a) * int32(b))
+	case isa.OpIMad:
+		return uint32(int32(a)*int32(b) + int32(c))
+	case isa.OpIDiv:
+		if b == 0 {
+			return 0xFFFFFFFF
+		}
+		return uint32(int32(a) / int32(b))
+	case isa.OpIRem:
+		if b == 0 {
+			return a
+		}
+		return uint32(int32(a) % int32(b))
+	case isa.OpIMin:
+		if int32(a) < int32(b) {
+			return a
+		}
+		return b
+	case isa.OpIMax:
+		if int32(a) > int32(b) {
+			return a
+		}
+		return b
+	case isa.OpIAbs:
+		if int32(a) < 0 {
+			return uint32(-int32(a))
+		}
+		return a
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpNot:
+		return ^a
+	case isa.OpShl:
+		return a << (b & 31)
+	case isa.OpShr:
+		return a >> (b & 31)
+	case isa.OpSra:
+		return uint32(int32(a) >> (b & 31))
+	case isa.OpSelP:
+		p := in.Srcs[2].Reg
+		if w.preds[lane]&(1<<p) != 0 {
+			return a
+		}
+		return b
+	case isa.OpFAdd:
+		return fbits(ffrom(a) + ffrom(b))
+	case isa.OpFSub:
+		return fbits(ffrom(a) - ffrom(b))
+	case isa.OpFMul:
+		return fbits(ffrom(a) * ffrom(b))
+	case isa.OpFFma:
+		return fbits(float32(float64(ffrom(a))*float64(ffrom(b)) + float64(ffrom(c))))
+	case isa.OpFDiv:
+		return fbits(ffrom(a) / ffrom(b))
+	case isa.OpFMin:
+		return fbits(float32(math.Min(float64(ffrom(a)), float64(ffrom(b)))))
+	case isa.OpFMax:
+		return fbits(float32(math.Max(float64(ffrom(a)), float64(ffrom(b)))))
+	case isa.OpFAbs:
+		return a &^ 0x80000000
+	case isa.OpFNeg:
+		return a ^ 0x80000000
+	case isa.OpI2F:
+		return fbits(float32(int32(a)))
+	case isa.OpF2I:
+		f := ffrom(a)
+		switch {
+		case math.IsNaN(float64(f)):
+			return 0
+		case f >= math.MaxInt32:
+			return uint32(math.MaxInt32)
+		case f <= math.MinInt32:
+			return 0x80000000 // int32 min
+		}
+		return uint32(int32(f))
+	case isa.OpSin:
+		return fbits(float32(math.Sin(float64(ffrom(a)))))
+	case isa.OpCos:
+		return fbits(float32(math.Cos(float64(ffrom(a)))))
+	case isa.OpEx2:
+		return fbits(float32(math.Exp2(float64(ffrom(a)))))
+	case isa.OpLg2:
+		return fbits(float32(math.Log2(float64(ffrom(a)))))
+	case isa.OpRsqrt:
+		return fbits(float32(1 / math.Sqrt(float64(ffrom(a)))))
+	case isa.OpRcp:
+		return fbits(1 / ffrom(a))
+	case isa.OpSqrt:
+		return fbits(float32(math.Sqrt(float64(ffrom(a)))))
+	}
+	return 0
+}
+
+func (w *Warp) execLoad(ctx *Context, in *isa.Instruction, active Mask, out *Outcome) error {
+	dst := in.Dst.Reg
+	vec := w.RegVec(dst)
+	if out.Addrs == nil {
+		out.Addrs = make([]uint32, w.Width)
+	}
+	for lane := 0; lane < w.Width; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		addr := w.operand(ctx, in.Srcs[0], lane) + uint32(in.Off)
+		out.Addrs[lane] = addr
+		if in.Op == isa.OpLdGlobal {
+			vec[lane] = ctx.Global.Load32(addr)
+		} else {
+			v, err := loadShared(ctx, addr)
+			if err != nil {
+				return fmt.Errorf("%v at pc %d line %d", err, out.PC, in.Line)
+			}
+			vec[lane] = v
+		}
+	}
+	out.DstReg = int(dst)
+	out.DstVec = vec
+	out.IsMem = true
+	out.IsGlobal = in.Op == isa.OpLdGlobal
+	return nil
+}
+
+func (w *Warp) execStore(ctx *Context, in *isa.Instruction, active Mask, out *Outcome) error {
+	if out.Addrs == nil {
+		out.Addrs = make([]uint32, w.Width)
+	}
+	for lane := 0; lane < w.Width; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		addr := w.operand(ctx, in.Srcs[0], lane) + uint32(in.Off)
+		out.Addrs[lane] = addr
+		v := w.operand(ctx, in.Srcs[1], lane)
+		if in.Op == isa.OpStGlobal {
+			ctx.Global.Store32(addr, v)
+		} else if err := storeShared(ctx, addr, v); err != nil {
+			return fmt.Errorf("%v at pc %d line %d", err, out.PC, in.Line)
+		}
+	}
+	out.IsMem = true
+	out.IsGlobal = in.Op == isa.OpStGlobal
+	out.IsStore = true
+	return nil
+}
+
+func loadShared(ctx *Context, addr uint32) (uint32, error) {
+	i := addr / 4
+	if int(i) >= len(ctx.Shared) {
+		return 0, fmt.Errorf("warp: shared load at %#x outside %d-byte shared memory", addr, len(ctx.Shared)*4)
+	}
+	return ctx.Shared[i], nil
+}
+
+func storeShared(ctx *Context, addr uint32, v uint32) error {
+	i := addr / 4
+	if int(i) >= len(ctx.Shared) {
+		return fmt.Errorf("warp: shared store at %#x outside %d-byte shared memory", addr, len(ctx.Shared)*4)
+	}
+	ctx.Shared[i] = v
+	return nil
+}
+
+// operand evaluates a source operand for one lane.
+func (w *Warp) operand(ctx *Context, o isa.Operand, lane int) uint32 {
+	switch o.Kind {
+	case isa.OpdReg:
+		return w.Reg(lane, o.Reg)
+	case isa.OpdImm:
+		return o.Imm
+	case isa.OpdParam:
+		return ctx.Launch.Params[o.Reg]
+	case isa.OpdSpecial:
+		switch o.Special {
+		case isa.SpecTidX:
+			return w.tidX[lane]
+		case isa.SpecTidY:
+			return w.tidY[lane]
+		case isa.SpecCtaIDX:
+			return w.ctaidX
+		case isa.SpecCtaIDY:
+			return w.ctaidY
+		case isa.SpecNTidX:
+			return uint32(ctx.Launch.Block.X)
+		case isa.SpecNTidY:
+			return uint32(ctx.Launch.Block.Y)
+		case isa.SpecNCtaX:
+			return uint32(ctx.Launch.Grid.X)
+		case isa.SpecNCtaY:
+			return uint32(ctx.Launch.Grid.Y)
+		case isa.SpecLaneID:
+			return uint32(lane)
+		case isa.SpecWarpID:
+			return uint32(w.ID)
+		}
+	}
+	return 0
+}
+
+func ffrom(bits uint32) float32 { return math.Float32frombits(bits) }
+func fbits(f float32) uint32    { return math.Float32bits(f) }

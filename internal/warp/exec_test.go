@@ -1,0 +1,240 @@
+package warp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/kernel"
+)
+
+// evalOne runs a one-instruction kernel "op r3, <a>, <b>" on one lane and
+// returns r3.
+func evalOne(t *testing.T, op string, srcs ...uint32) uint32 {
+	t.Helper()
+	src := "mov r1, $0\nmov r2, $1\nmov r4, $2\n"
+	switch len(srcs) {
+	case 1:
+		src += fmt.Sprintf("%s r3, r1\n", op)
+	case 2:
+		src += fmt.Sprintf("%s r3, r1, r2\n", op)
+	case 3:
+		src += fmt.Sprintf("%s r3, r1, r2, r4\n", op)
+	}
+	src += "exit\n"
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 1, Y: 1}}
+	for i, s := range srcs {
+		lc.Params[i] = s
+	}
+	ctx := &Context{Prog: prog, Launch: lc, Global: kernel.NewMemory()}
+	w := New(0, 0, 0, 32, prog.NumRegs, 1)
+	for w.Status() == StatusReady {
+		if _, err := w.Execute(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w.Reg(0, 3)
+}
+
+func f32(bits uint32) float32 { return math.Float32frombits(bits) }
+func bits(f float32) uint32   { return math.Float32bits(f) }
+
+func TestIntegerOpSemantics(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b uint32
+		want uint32
+	}{
+		{"iadd", 3, 4, 7},
+		{"iadd", 0xFFFFFFFF, 1, 0}, // wraparound
+		{"isub", 3, 5, 0xFFFFFFFE},
+		{"imul", 7, 6, 42},
+		{"imul", 0x80000000, 2, 0}, // overflow wraps
+		{"idiv", 42, 5, 8},
+		{"idiv", uint32(0x80000000), 2, uint32(0xC0000000)}, // signed
+		{"idiv", 5, 0, 0xFFFFFFFF},                          // divide by zero
+		{"irem", 42, 5, 2},
+		{"irem", 5, 0, 5},
+		{"imin", uint32(0xFFFFFFFF), 1, 0xFFFFFFFF}, // -1 < 1 signed
+		{"imax", uint32(0xFFFFFFFF), 1, 1},
+		{"and", 0xF0F0, 0xFF00, 0xF000},
+		{"or", 0xF0F0, 0x0F0F, 0xFFFF},
+		{"xor", 0xFF, 0x0F, 0xF0},
+		{"shl", 1, 5, 32},
+		{"shl", 1, 37, 32}, // shift amount masked to 5 bits
+		{"shr", 0x80000000, 31, 1},
+		{"sra", 0x80000000, 31, 0xFFFFFFFF},
+	}
+	for _, c := range cases {
+		if got := evalOne(t, c.op, c.a, c.b); got != c.want {
+			t.Errorf("%s(%#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnaryOpSemantics(t *testing.T) {
+	if got := evalOne(t, "iabs", uint32(0xFFFFFFF6)); got != 10 {
+		t.Errorf("iabs(-10) = %d", got)
+	}
+	if got := evalOne(t, "not", 0); got != 0xFFFFFFFF {
+		t.Errorf("not(0) = %#x", got)
+	}
+	if got := evalOne(t, "fneg", bits(1.5)); got != bits(-1.5) {
+		t.Errorf("fneg(1.5) = %#x", got)
+	}
+	if got := evalOne(t, "fabs", bits(-2.25)); got != bits(2.25) {
+		t.Errorf("fabs(-2.25) = %#x", got)
+	}
+	if got := evalOne(t, "i2f", uint32(0xFFFFFFFF)); got != bits(-1) {
+		t.Errorf("i2f(-1) = %#x", got)
+	}
+	if got := evalOne(t, "f2i", bits(-3.7)); got != uint32(0xFFFFFFFD) {
+		t.Errorf("f2i(-3.7) = %#x, want -3", got)
+	}
+	if got := evalOne(t, "f2i", bits(float32(math.NaN()))); got != 0 {
+		t.Errorf("f2i(NaN) = %#x", got)
+	}
+	if got := evalOne(t, "f2i", bits(1e30)); got != 0x7FFFFFFF {
+		t.Errorf("f2i(1e30) = %#x", got)
+	}
+	if got := evalOne(t, "f2i", bits(-1e30)); got != 0x80000000 {
+		t.Errorf("f2i(-1e30) = %#x", got)
+	}
+}
+
+func TestFloatOpSemantics(t *testing.T) {
+	if got := evalOne(t, "fadd", bits(1.5), bits(2.25)); got != bits(3.75) {
+		t.Errorf("fadd = %#x", got)
+	}
+	if got := evalOne(t, "fmul", bits(3), bits(-2)); got != bits(-6) {
+		t.Errorf("fmul = %#x", got)
+	}
+	// FFMA uses a fused (float64) intermediate.
+	a, b, c := float32(1.0000001), float32(1.0000001), float32(-1)
+	want := bits(float32(float64(a)*float64(b) + float64(c)))
+	if got := evalOne(t, "ffma", bits(a), bits(b), bits(c)); got != want {
+		t.Errorf("ffma fused = %#x, want %#x", got, want)
+	}
+	if got := evalOne(t, "fmin", bits(1), bits(-2)); got != bits(-2) {
+		t.Errorf("fmin = %#x", got)
+	}
+	if got := evalOne(t, "fmax", bits(1), bits(-2)); got != bits(1) {
+		t.Errorf("fmax = %#x", got)
+	}
+}
+
+func TestSFUOpSemantics(t *testing.T) {
+	if got := evalOne(t, "ex2", bits(3)); got != bits(8) {
+		t.Errorf("ex2(3) = %v", f32(got))
+	}
+	if got := evalOne(t, "lg2", bits(8)); got != bits(3) {
+		t.Errorf("lg2(8) = %v", f32(got))
+	}
+	if got := evalOne(t, "sqrt", bits(9)); got != bits(3) {
+		t.Errorf("sqrt(9) = %v", f32(got))
+	}
+	if got := evalOne(t, "rsqrt", bits(4)); got != bits(0.5) {
+		t.Errorf("rsqrt(4) = %v", f32(got))
+	}
+	if got := evalOne(t, "rcp", bits(4)); got != bits(0.25) {
+		t.Errorf("rcp(4) = %v", f32(got))
+	}
+	if got := f32(evalOne(t, "sin", bits(0))); got != 0 {
+		t.Errorf("sin(0) = %v", got)
+	}
+	if got := f32(evalOne(t, "cos", bits(0))); got != 1 {
+		t.Errorf("cos(0) = %v", got)
+	}
+}
+
+// TestALUWraparoundProperty checks add/sub inverses over random values.
+func TestALUWraparoundProperty(t *testing.T) {
+	prog, err := asm.Assemble(`
+	mov r1, $0
+	mov r2, $1
+	iadd r3, r1, r2
+	isub r4, r3, r2
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint32) bool {
+		lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 1, Y: 1}}
+		lc.Params[0] = a
+		lc.Params[1] = b
+		ctx := &Context{Prog: prog, Launch: lc, Global: kernel.NewMemory()}
+		w := New(0, 0, 0, 32, prog.NumRegs, 1)
+		for w.Status() == StatusReady {
+			if _, err := w.Execute(ctx); err != nil {
+				return false
+			}
+		}
+		return w.Reg(0, 4) == a && w.Reg(0, 3) == a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStackInvariant checks that at every step, the union of live stack
+// masks equals the set of non-exited lanes, and entries never overlap with
+// the lanes of entries above them being executed... specifically: the top
+// entry's mask is always a subset of the warp's live lanes.
+func TestStackInvariant(t *testing.T) {
+	prog, err := asm.Assemble(`
+	mov r1, %tid.x
+	and r2, r1, 7
+LOOP:
+	iadd r2, r2, 1
+	and r3, r2, 3
+	isetp.eq p0, r3, 0
+	@p0 bra SKIP
+	iadd r4, r4, 1
+SKIP:
+	isetp.lt p1, r2, 20
+	@p1 bra LOOP
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 32, Y: 1}}
+	ctx := &Context{Prog: prog, Launch: lc, Global: kernel.NewMemory()}
+	w := New(0, 0, 0, 32, prog.NumRegs, FullMask(32))
+	for l := 0; l < 32; l++ {
+		w.SetThreadCoords(l, uint32(l), 0)
+	}
+	steps := 0
+	for w.Status() == StatusReady {
+		if top := w.TopMask(); top&^FullMask(32) != 0 {
+			t.Fatalf("top mask %x outside live lanes", top)
+		}
+		if _, err := w.Execute(ctx); err != nil {
+			t.Fatal(err)
+		}
+		// Invariant: every entry's mask is a subset of the entry below it
+		// (the PDOM stack nests), except immediately after a divergence,
+		// where the two pushed siblings partition their parent. So checking
+		// subset-of-bottom suffices, plus a generous depth bound (one
+		// reconvergence layer can remain per distinct loop trip count).
+		masks := w.StackMasks()
+		for i := 1; i < len(masks); i++ {
+			if masks[i]&^masks[0] != 0 {
+				t.Fatalf("entry %d mask %x escapes root mask %x", i, masks[i], masks[0])
+			}
+		}
+		if w.StackDepth() > 24 {
+			t.Fatalf("stack depth %d: entries are leaking", w.StackDepth())
+		}
+		if steps++; steps > 5000 {
+			t.Fatal("runaway")
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package warp
+
+import (
+	"testing"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/kernel"
+)
+
+// exec runs a single-warp program to completion and returns the warp plus
+// per-instruction outcomes.
+func exec(t *testing.T, src string, lanes int, setup func(w *Warp)) (*Warp, []Outcome, *Context) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: lanes, Y: 1}}
+	ctx := &Context{
+		Prog:   prog,
+		Launch: lc,
+		Global: kernel.NewMemory(),
+		Shared: make([]uint32, 256),
+	}
+	w := New(0, 0, 0, 32, prog.NumRegs, FullMask(lanes))
+	for l := 0; l < lanes; l++ {
+		w.SetThreadCoords(l, uint32(l), 0)
+	}
+	if setup != nil {
+		setup(w)
+	}
+	var outs []Outcome
+	for w.Status() == StatusReady {
+		out, err := w.Execute(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+		if len(outs) > 10000 {
+			t.Fatal("runaway program")
+		}
+	}
+	return w, outs, ctx
+}
+
+func TestMaskHelpers(t *testing.T) {
+	if FullMask(0) != 0 || FullMask(1) != 1 || FullMask(32) != 0xFFFFFFFF || FullMask(64) != ^Mask(0) {
+		t.Error("FullMask broken")
+	}
+	if PopCount(0) != 0 || PopCount(0xFF) != 8 || PopCount(^Mask(0)) != 64 {
+		t.Error("PopCount broken")
+	}
+}
+
+func TestUniformExecution(t *testing.T) {
+	w, outs, _ := exec(t, `
+	mov r1, 7
+	iadd r2, r1, 3
+	imul r3, r2, r2
+	exit
+`, 32, nil)
+	for lane := 0; lane < 32; lane++ {
+		if got := w.Reg(lane, 3); got != 100 {
+			t.Fatalf("lane %d r3 = %d, want 100", lane, got)
+		}
+	}
+	for _, o := range outs {
+		if o.Divergent {
+			t.Errorf("inst %v flagged divergent", o.Inst)
+		}
+	}
+}
+
+func TestPerLaneValues(t *testing.T) {
+	w, _, _ := exec(t, `
+	mov r1, %tid.x
+	imul r2, r1, r1
+	exit
+`, 32, nil)
+	for lane := 0; lane < 32; lane++ {
+		if got := w.Reg(lane, 2); got != uint32(lane*lane) {
+			t.Fatalf("lane %d r2 = %d, want %d", lane, got, lane*lane)
+		}
+	}
+}
+
+func TestDivergenceAndReconvergence(t *testing.T) {
+	// Even lanes take one path, odd lanes the other; all reconverge.
+	w, outs, _ := exec(t, `
+	mov r1, %tid.x
+	and r2, r1, 1
+	isetp.eq p0, r2, 0
+	@p0 bra EVEN
+	imul r3, r1, 3
+	bra JOIN
+EVEN:
+	iadd r3, r1, 100
+JOIN:
+	iadd r4, r3, 1
+	exit
+`, 32, nil)
+	for lane := 0; lane < 32; lane++ {
+		want := uint32(lane*3 + 1)
+		if lane%2 == 0 {
+			want = uint32(lane + 100 + 1)
+		}
+		if got := w.Reg(lane, 4); got != want {
+			t.Fatalf("lane %d r4 = %d, want %d", lane, got, want)
+		}
+	}
+	// The final iadd must have executed with the full mask (reconverged).
+	last := outs[len(outs)-2] // before exit
+	if last.Active != FullMask(32) {
+		t.Fatalf("post-join active = %x, want full", last.Active)
+	}
+	if w.StackDepth() != 0 {
+		t.Fatalf("stack depth = %d after completion", w.StackDepth())
+	}
+}
+
+func TestDivergentLoopTripCounts(t *testing.T) {
+	// Lane l iterates l+1 times; the loop reconverges at the exit.
+	w, _, _ := exec(t, `
+	mov r1, %tid.x
+	iadd r2, r1, 1     // trip count = lane+1
+	mov r3, 0          // counter
+LOOP:
+	iadd r3, r3, 1
+	isetp.lt p0, r3, r2
+	@p0 bra LOOP
+	exit
+`, 32, nil)
+	for lane := 0; lane < 32; lane++ {
+		if got := w.Reg(lane, 3); got != uint32(lane+1) {
+			t.Fatalf("lane %d counter = %d, want %d", lane, got, lane+1)
+		}
+	}
+}
+
+func TestNestedDivergence(t *testing.T) {
+	w, _, _ := exec(t, `
+	mov r1, %tid.x
+	and r2, r1, 3
+	isetp.lt p0, r2, 2
+	@p0 bra LOW
+	isetp.eq p1, r2, 2
+	@p1 bra TWO
+	mov r3, 33          // r2 == 3
+	bra J1
+TWO:
+	mov r3, 22
+J1:
+	bra JOIN
+LOW:
+	isetp.eq p1, r2, 0
+	@p1 bra ZERO
+	mov r3, 11          // r2 == 1
+	bra J2
+ZERO:
+	mov r3, 0
+J2:
+JOIN:
+	iadd r4, r3, 1
+	exit
+`, 32, nil)
+	want := []uint32{1, 12, 23, 34}
+	for lane := 0; lane < 32; lane++ {
+		if got := w.Reg(lane, 4); got != want[lane%4] {
+			t.Fatalf("lane %d r4 = %d, want %d", lane, got, want[lane%4])
+		}
+	}
+}
+
+func TestGuardedExitPartial(t *testing.T) {
+	// Lanes >= 16 exit early; the rest continue.
+	w, outs, _ := exec(t, `
+	mov r1, %tid.x
+	isetp.ge p0, r1, 16
+	@p0 exit
+	iadd r2, r1, 5
+	exit
+`, 32, nil)
+	for lane := 0; lane < 16; lane++ {
+		if got := w.Reg(lane, 2); got != uint32(lane+5) {
+			t.Fatalf("lane %d r2 = %d", lane, got)
+		}
+	}
+	// The surviving instruction ran divergently with the low half active.
+	tail := outs[len(outs)-2]
+	if tail.Active != FullMask(16) {
+		t.Fatalf("post-exit active = %x, want low 16", tail.Active)
+	}
+	if !tail.Divergent {
+		t.Error("post-exit instruction should be divergent")
+	}
+}
+
+func TestPredicatedInstruction(t *testing.T) {
+	// A guarded non-branch executes only on predicated lanes.
+	w, _, _ := exec(t, `
+	mov r1, %tid.x
+	mov r2, 50
+	isetp.lt p0, r1, 4
+	@p0 mov r2, 99
+	exit
+`, 32, nil)
+	for lane := 0; lane < 32; lane++ {
+		want := uint32(50)
+		if lane < 4 {
+			want = 99
+		}
+		if got := w.Reg(lane, 2); got != want {
+			t.Fatalf("lane %d r2 = %d, want %d", lane, got, want)
+		}
+	}
+}
+
+func TestSelp(t *testing.T) {
+	w, _, _ := exec(t, `
+	mov r1, %tid.x
+	isetp.lt p0, r1, 8
+	selp r2, 111, 222, p0
+	exit
+`, 16, nil)
+	for lane := 0; lane < 16; lane++ {
+		want := uint32(222)
+		if lane < 8 {
+			want = 111
+		}
+		if got := w.Reg(lane, 2); got != want {
+			t.Fatalf("lane %d = %d, want %d", lane, got, want)
+		}
+	}
+}
+
+func TestGlobalLoadStore(t *testing.T) {
+	prog, err := asm.Assemble(`
+	mov r1, %tid.x
+	shl r2, r1, 2
+	iadd r3, $0, r2
+	ldg r4, [r3]
+	imul r4, r4, 2
+	iadd r5, $1, r2
+	stg [r5], r4
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := kernel.NewMemory()
+	in := mem.AllocU32([]uint32{10, 20, 30, 40, 50, 60, 70, 80})
+	out := mem.Alloc(32)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 8, Y: 1}}
+	lc.Params[0] = in
+	lc.Params[1] = out
+	if _, err := FuncRun(prog, lc, mem, 32, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := mem.ReadU32(out, 8)
+	for i, v := range got {
+		if v != uint32((i+1)*20) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, (i+1)*20)
+		}
+	}
+}
+
+func TestSharedMemoryAndBarrier(t *testing.T) {
+	// Threads write tid to shared, barrier, then read neighbour's value
+	// (reversal within the CTA).
+	prog, err := asm.Assemble(`
+	mov r1, %tid.x
+	shl r2, r1, 2
+	sts [r2], r1
+	bar
+	mov r3, %ntid.x
+	isub r4, r3, r1
+	iadd r4, r4, -1       // ntid-1-tid
+	shl r5, r4, 2
+	lds r6, [r5]
+	shl r7, r1, 2
+	iadd r8, $0, r7
+	stg [r8], r6
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := kernel.NewMemory()
+	out := mem.Alloc(64 * 4)
+	lc := &kernel.LaunchConfig{
+		Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 64, Y: 1},
+		SharedBytes: 64 * 4,
+	}
+	lc.Params[0] = out
+	if _, err := FuncRun(prog, lc, mem, 32, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := mem.ReadU32(out, 64)
+	for i, v := range got {
+		if v != uint32(63-i) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, 63-i)
+		}
+	}
+}
+
+func TestSharedOutOfBounds(t *testing.T) {
+	prog, err := asm.Assemble(`
+	mov r1, 4096
+	lds r2, [r1]
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 32, Y: 1}, SharedBytes: 64}
+	mem := kernel.NewMemory()
+	if _, err := FuncRun(prog, lc, mem, 32, 0); err == nil {
+		t.Fatal("expected out-of-bounds shared access error")
+	}
+}
+
+func TestTailWarp(t *testing.T) {
+	// 40 threads -> warp 0 full, warp 1 with 8 lanes.
+	prog, err := asm.Assemble(`
+	mov r1, %tid.x
+	shl r2, r1, 2
+	iadd r3, $0, r2
+	stg [r3], r1
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := kernel.NewMemory()
+	out := mem.Alloc(40 * 4)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 40, Y: 1}}
+	lc.Params[0] = out
+	res, err := FuncRun(prog, lc, mem, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThreadInsts != 40*5 {
+		t.Errorf("thread insts = %d, want %d", res.ThreadInsts, 40*5)
+	}
+	got := mem.ReadU32(out, 40)
+	for i, v := range got {
+		if v != uint32(i) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestBuildCTACoords(t *testing.T) {
+	prog, _ := asm.Assemble("exit")
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 3, Y: 2}, Block: kernel.Dim{X: 16, Y: 4}}
+	warps := BuildCTA(prog, lc, 4, 32, 100) // CTA (1,1)
+	if len(warps) != 2 {
+		t.Fatalf("warps = %d, want 2", len(warps))
+	}
+	w := warps[1]
+	if w.GlobalID != 101 || w.ID != 1 {
+		t.Errorf("ids = %d/%d", w.GlobalID, w.ID)
+	}
+	if w.ctaidX != 1 || w.ctaidY != 1 {
+		t.Errorf("cta coords = %d,%d", w.ctaidX, w.ctaidY)
+	}
+	// Lane 0 of warp 1 is thread 32 = (tid.x 0, tid.y 2).
+	if w.tidX[0] != 0 || w.tidY[0] != 2 {
+		t.Errorf("thread coords = %d,%d", w.tidX[0], w.tidY[0])
+	}
+}
+
+func TestFuncRunDeadlockDetection(t *testing.T) {
+	// One warp reaches the barrier; the CTA has a second warp that exited:
+	// barrier must release. Then a truly divergent barrier (only some lanes)
+	// is not representable here, so test the runaway guard instead.
+	prog, err := asm.Assemble(`
+LOOP:
+	bra LOOP
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 32, Y: 1}}
+	if _, err := FuncRun(prog, lc, kernel.NewMemory(), 32, 1000); err == nil {
+		t.Fatal("expected instruction-budget error")
+	}
+}
+
+func TestPeekMatchesExecute(t *testing.T) {
+	src := `
+	mov r1, %tid.x
+	isetp.lt p0, r1, 10
+	@p0 bra A
+	mov r2, 1
+	bra B
+A:
+	mov r2, 2
+B:
+	exit
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 32, Y: 1}}
+	ctx := &Context{Prog: prog, Launch: lc, Global: kernel.NewMemory()}
+	w := New(0, 0, 0, 32, prog.NumRegs, FullMask(32))
+	for l := 0; l < 32; l++ {
+		w.SetThreadCoords(l, uint32(l), 0)
+	}
+	for w.Status() == StatusReady {
+		pc, in, active, ok := w.Peek(ctx)
+		if !ok {
+			break
+		}
+		out, err := w.Execute(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.PC != pc || out.Inst != in || out.Active != active {
+			t.Fatalf("peek (%d,%v,%x) != execute (%d,%v,%x)",
+				pc, in, active, out.PC, out.Inst, out.Active)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package workloads
+
+import (
+	"math"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/kernel"
+)
+
+// f32 helpers mirroring the simulator's FP semantics (FFMA uses a float64
+// intermediate, i.e. fused), so host golden models match bit-for-bit.
+func ffma(a, b, c float32) float32 { return float32(float64(a)*float64(b) + float64(c)) }
+func ex2f(x float32) float32       { return float32(math.Exp2(float64(x))) }
+func rcpf(x float32) float32       { return 1 / x }
+
+// ---------------------------------------------------------------------------
+// BP — backprop (Rodinia). Compute-intensive weight-update loop: the paper
+// notes each thread repeatedly computes powers of 2.0 with uniform
+// arguments, making BP's special-function instructions overwhelmingly
+// scalar-eligible; BP shows the paper's largest (+79 %) efficiency gain.
+// A per-half-warp neuron-group factor adds half-warp-scalar work (BP has
+// the largest half-scalar share in Figure 9).
+// ---------------------------------------------------------------------------
+
+const bpSrc = `
+.kernel backprop
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // gid
+	shl   r3, r2, 2
+	iadd  r4, $0, r3                  // &input[gid]
+	iadd  r5, $1, r3                  // &weight[gid]
+	ldg   r6, [r4]                    // x
+	ldg   r7, [r5]                    // w
+	mov   r8, 0                       // epoch
+	mov   r9, $2                      // epochs (uniform)
+	mov   r10, $3                     // eta (uniform)
+	shr   r24, r1, 4                  // neuron group = tid/16 (half-warp uniform)
+	i2f   r25, r24
+LOOP:
+	i2f   r11, r8                     // t = float(e)          .. scalar
+	fneg  r12, r11                    //                       .. scalar
+	ex2   r13, r12                    // momentum = 2^-e       .. scalar SFU
+	ffma  r14, r11, r11, 1.0          // 1 + t^2               .. scalar
+	rcp   r15, r14                    // lrate = 1/(1+t^2)     .. scalar SFU
+	fmul  r16, r13, r10               // momentum*eta          .. scalar
+	ffma  r26, r25, 0.0625, r16       // group bias            .. half-scalar
+	fmul  r27, r26, r15               // bias*lrate            .. half-scalar
+	fmul  r17, r7, r6                 // g = w*x               .. vector
+	fabs  r18, r17
+	fadd  r19, r18, 1.0
+	rcp   r20, r19                    // sigma = 1/(1+|g|)     .. vector SFU
+	fsub  r21, r20, 0.5               // err
+	fmul  r22, r21, r27               // err * rate
+	ffma  r7, r22, r6, r7             // w += delta*x          .. vector
+	iadd  r8, r8, 1                   //                       .. scalar
+	isetp.lt p0, r8, r9               //                       .. scalar
+	@p0 bra LOOP
+	stg   [r5], r7
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "BP", Name: "backprop", Suite: "Rodinia",
+		Desc:  "neural-network weight update; uniform-argument SFU loop",
+		Build: buildBP,
+	})
+}
+
+func buildBP(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(bpSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	const epochs = 12
+	ctas := 60 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(11)
+	mem := kernel.NewMemory()
+	xs := make([]float32, n)
+	ws := make([]float32, n)
+	for i := range xs {
+		xs[i] = r.floatRange(-1, 1)
+		ws[i] = r.floatRange(-0.25, 0.25)
+	}
+	xb := mem.AllocF32(xs)
+	wb := mem.AllocF32(ws)
+	const eta = float32(0.125)
+
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = xb
+	lc.Params[1] = wb
+	lc.Params[2] = epochs
+	lc.Params[3] = math.Float32bits(eta)
+
+	check := func() error {
+		got := mem.ReadF32(wb, n)
+		for i := 0; i < n; i++ {
+			w := ws[i]
+			group := float32((i % threadsPerCTA) / 16)
+			for e := 0; e < epochs; e++ {
+				t := float32(e)
+				momentum := ex2f(-t)
+				lrate := rcpf(ffma(t, t, 1))
+				rate := momentum * eta
+				bias := ffma(group, 0.0625, rate)
+				r27 := bias * lrate
+				g := w * xs[i]
+				sigma := rcpf(float32(math.Abs(float64(g))) + 1)
+				errv := sigma - 0.5
+				w = ffma(errv*r27, xs[i], w)
+			}
+			if got[i] != w {
+				return errf("BP: w[%d] = %v, want %v", i, got[i], w)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// MQ — mri-q (Parboil). Non-divergent, SFU-heavy: the k-space trajectory is
+// loaded through warp-uniform addresses (scalar memory instructions), the
+// per-voxel phase and sin/cos are vector work.
+// ---------------------------------------------------------------------------
+
+const mqSrc = `
+.kernel mriq
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // voxel
+	shl   r3, r2, 2
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                    // x
+	iadd  r6, $1, r3
+	ldg   r7, [r6]                    // y
+	mov   r10, 0                      // k
+	mov   r11, $4                     // K (uniform)
+	mov   r12, $3                     // ktraj base (uniform)
+	mov   r13, 0                      // accR
+	mov   r14, 0                      // accI
+LOOP:
+	shl   r15, r10, 3                 // k*8                    .. scalar
+	iadd  r16, r12, r15               // &ktraj[k]              .. scalar
+	ldg   r17, [r16]                  // kx    (scalar load)
+	ldg   r18, [r16+4]                // phi   (scalar load)
+	fmul  r26, r17, r18               // sample weighting       .. scalar
+	fadd  r26, r26, 2.0               //                        .. scalar
+	lg2   r27, r26                    // scalar SFU
+	fmul  r27, r27, r18               // weighted phi           .. scalar
+	fmul  r21, r17, r5                // kx*x                   .. vector
+	ffma  r21, r18, r7, r21           // phase                  .. vector
+	sin   r22, r21                    // vector SFU
+	cos   r23, r21                    // vector SFU
+	ffma  r13, r27, r23, r13
+	ffma  r14, r27, r22, r14
+	iadd  r10, r10, 1                 //                        .. scalar
+	isetp.lt p0, r10, r11             //                        .. scalar
+	@p0 bra LOOP
+	iadd  r24, $5, r3
+	stg   [r24], r13
+	iadd  r25, $6, r3
+	stg   [r25], r14
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "MQ", Name: "mri-q", Suite: "Parboil",
+		Desc:  "MRI Q computation; uniform k-space loads, vector sin/cos",
+		Build: buildMQ,
+	})
+}
+
+func buildMQ(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(mqSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	const kSamples = 24
+	ctas := 50 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(12)
+	mem := kernel.NewMemory()
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = r.floatRange(-2, 2)
+		ys[i] = r.floatRange(-2, 2)
+	}
+	ktraj := make([]float32, 2*kSamples)
+	for i := range ktraj {
+		ktraj[i] = r.floatRange(-1, 1)
+	}
+	xb := mem.AllocF32(xs)
+	yb := mem.AllocF32(ys)
+	kb := mem.AllocF32(ktraj)
+	outR := mem.Alloc(n * 4)
+	outI := mem.Alloc(n * 4)
+
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = xb
+	lc.Params[1] = yb
+	lc.Params[3] = kb
+	lc.Params[4] = kSamples
+	lc.Params[5] = outR
+	lc.Params[6] = outI
+
+	check := func() error {
+		gotR := mem.ReadF32(outR, n)
+		gotI := mem.ReadF32(outI, n)
+		for i := 0; i < n; i++ {
+			var accR, accI float32
+			for k := 0; k < kSamples; k++ {
+				kx, phi := ktraj[2*k], ktraj[2*k+1]
+				w := float32(math.Log2(float64(kx*phi+2))) * phi
+				phase := ffma(phi, ys[i], kx*xs[i])
+				sn := float32(math.Sin(float64(phase)))
+				cs := float32(math.Cos(float64(phase)))
+				accR = ffma(w, cs, accR)
+				accI = ffma(w, sn, accI)
+			}
+			if gotR[i] != accR || gotI[i] != accI {
+				return errf("MQ: out[%d] = (%v,%v), want (%v,%v)", i, gotR[i], gotI[i], accR, accI)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// MM — sgemm (Parboil). Tiled dense matrix multiply with shared memory and
+// barriers. Non-divergent; the A-tile shared loads use per-row (16-thread
+// uniform) addresses, exercising half-warp scalar detection, and loop/tile
+// bookkeeping is warp-uniform.
+// ---------------------------------------------------------------------------
+
+const mmSrc = `
+.kernel sgemm
+	mov   r1, %tid.x                  // tx
+	mov   r2, %tid.y                  // ty
+	imad  r3, %ctaid.x, 16, r1        // col
+	imad  r4, %ctaid.y, 16, r2        // row
+	mov   r5, $3                      // N (uniform)
+	mov   r6, 0                       // k0
+	mov   r7, 0                       // acc
+	imad  r8, r2, 16, r1              // linear thread
+	shl   r9, r8, 2                   // As offset
+	iadd  r10, r9, 1024               // Bs offset
+TILE:
+	iadd  r11, r6, r1                 // k0+tx
+	imad  r12, r4, r5, r11            // row*N + k0+tx
+	shl   r13, r12, 2
+	iadd  r14, $0, r13
+	ldg   r15, [r14]                  // A[row, k0+tx]
+	sts   [r9], r15
+	iadd  r16, r6, r2                 // k0+ty (16-thread uniform)
+	imad  r17, r16, r5, r3
+	shl   r18, r17, 2
+	iadd  r19, $1, r18
+	ldg   r20, [r19]                  // B[k0+ty, col]
+	sts   [r10], r20
+	bar
+	mov   r21, 0                      // kk
+INNER:
+	imad  r22, r2, 16, r21            // ty*16+kk (16-thread uniform)
+	shl   r23, r22, 2
+	lds   r24, [r23]                  // As[ty][kk] (half-warp-uniform address)
+	imad  r25, r21, 16, r1            // kk*16+tx
+	shl   r26, r25, 2
+	lds   r27, [r26+1024]             // Bs[kk][tx]
+	ffma  r7, r24, r27, r7
+	iadd  r21, r21, 1
+	isetp.lt p0, r21, 16
+	@p0 bra INNER
+	bar
+	iadd  r6, r6, 16
+	isetp.lt p0, r6, r5
+	@p0 bra TILE
+	imad  r28, r4, r5, r3
+	shl   r29, r28, 2
+	iadd  r30, $2, r29
+	stg   [r30], r7
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "MM", Name: "sgemm", Suite: "Parboil",
+		Desc:  "tiled dense matrix multiply with shared memory",
+		Build: buildMM,
+	})
+}
+
+func buildMM(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(mmSrc)
+	if err != nil {
+		return nil, err
+	}
+	n := 80 // matrix dim; tiles of 16
+	if scale > 1 {
+		n = 16 * (5 + 2*scale) // grows with scale
+	}
+	r := newRNG(13)
+	a := make([]float32, n*n)
+	b := make([]float32, n*n)
+	for i := range a {
+		a[i] = r.floatRange(-1, 1)
+		b[i] = r.floatRange(-1, 1)
+	}
+	mem := kernel.NewMemory()
+	ab := mem.AllocF32(a)
+	bb := mem.AllocF32(b)
+	cb := mem.Alloc(n * n * 4)
+
+	lc := &kernel.LaunchConfig{
+		Grid:        kernel.Dim{X: n / 16, Y: n / 16},
+		Block:       kernel.Dim{X: 16, Y: 16},
+		SharedBytes: 2048,
+	}
+	lc.Params[0] = ab
+	lc.Params[1] = bb
+	lc.Params[2] = cb
+	lc.Params[3] = uint32(n)
+
+	check := func() error {
+		got := mem.ReadF32(cb, n*n)
+		for row := 0; row < n; row++ {
+			for col := 0; col < n; col++ {
+				var acc float32
+				for k := 0; k < n; k++ {
+					acc = ffma(a[row*n+k], b[k*n+col], acc)
+				}
+				if g := got[row*n+col]; g != acc {
+					return errf("MM: C[%d,%d] = %v, want %v", row, col, g, acc)
+				}
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// ST — stencil (Parboil). Non-divergent 5-point Jacobi sweep with a small
+// uniform coefficient-schedule loop; neighbour addresses share their upper
+// bytes (the 3-byte RF access class).
+// ---------------------------------------------------------------------------
+
+const stSrc = `
+.kernel stencil
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // gid
+	shr   r5, r2, 7                   // row (W=128)
+	// Top/bottom rows exit as whole warps (W is a warp multiple), so the
+	// exits are non-divergent; edge columns compute unused values into
+	// their own output slot rather than diverging.
+	isetp.eq p0, r5, 0
+	@p0 exit
+	mov   r30, $3                     // H (uniform)
+	iadd  r7, r30, -1
+	isetp.eq p0, r5, r7
+	@p0 exit
+	shl   r8, r2, 2
+	iadd  r9, $0, r8
+	ldg   r10, [r9]                   // centre
+	ldg   r11, [r9+4]                 // east
+	ldg   r12, [r9-4]                 // west
+	ldg   r13, [r9+512]               // south
+	ldg   r14, [r9-512]               // north
+	mov   r15, $4                     // c0 (uniform)
+	mov   r16, $5                     // c1 (uniform)
+	fadd  r17, r11, r12
+	fadd  r18, r13, r14
+	fadd  r17, r17, r18               // neighbour sum
+	mov   r19, 0                      // acc
+	mov   r20, 0                      // step
+LOOP:
+	i2f   r21, r20                    //                 .. scalar
+	ffma  r22, r21, 0.0078125, r16    // c1 + step/128   .. scalar
+	fadd  r25, r21, 2.0               //                 .. scalar
+	rcp   r26, r25                    // damping   scalar SFU
+	ffma  r22, r26, 0.03125, r22      //                 .. scalar
+	fmul  r23, r17, r22               //                 .. vector
+	ffma  r23, r10, r15, r23          //                 .. vector
+	fadd  r19, r19, r23
+	iadd  r20, r20, 1                 //                 .. scalar
+	isetp.lt p0, r20, 4               //                 .. scalar
+	@p0 bra LOOP
+	iadd  r24, $1, r8
+	stg   [r24], r19
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "ST", Name: "stencil", Suite: "Parboil",
+		Desc:  "5-point Jacobi stencil with uniform coefficient schedule",
+		Build: buildST,
+	})
+}
+
+func buildST(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(stSrc)
+	if err != nil {
+		return nil, err
+	}
+	const w = 128
+	h := 96 * scale
+	n := w * h
+	r := newRNG(14)
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = r.floatRange(0, 100)
+	}
+	mem := kernel.NewMemory()
+	inB := mem.AllocF32(in)
+	outB := mem.Alloc(n * 4)
+
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: n / 128, Y: 1}, Block: kernel.Dim{X: 128, Y: 1}}
+	lc.Params[0] = inB
+	lc.Params[1] = outB
+	lc.Params[3] = uint32(h)
+	lc.Params[4] = math.Float32bits(0.6)
+	lc.Params[5] = math.Float32bits(0.1)
+
+	check := func() error {
+		got := mem.ReadF32(outB, n)
+		for row := 1; row < h-1; row++ {
+			for col := 1; col < w-1; col++ {
+				i := row*w + col
+				sum := (in[i+1] + in[i-1]) + (in[i+w] + in[i-w])
+				var acc float32
+				for step := 0; step < 4; step++ {
+					c1 := ffma(float32(step), 0.0078125, 0.1)
+					c1 = ffma(rcpf(float32(step)+2), 0.03125, c1)
+					acc += ffma(in[i], 0.6, sum*c1)
+				}
+				if got[i] != acc {
+					return errf("ST: out[%d,%d] = %v, want %v", row, col, got[i], acc)
+				}
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}

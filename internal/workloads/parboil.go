@@ -1,0 +1,748 @@
+package workloads
+
+import (
+	"math"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/kernel"
+)
+
+// ---------------------------------------------------------------------------
+// CC — cutcp (Parboil). Cutoff Coulomb potential: atom data streams in
+// through warp-uniform addresses (scalar loads); the cutoff test splits the
+// warp and the in-range path runs vector rsqrt.
+// ---------------------------------------------------------------------------
+
+const ccSrc = `
+.kernel cutcp
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // grid point
+	and   r3, r2, 63                  // px
+	shr   r4, r2, 6                   // py
+	i2f   r5, r3                      // x (per thread)
+	i2f   r6, r4                      // y (per thread)
+	mov   r7, 0                       // atom index
+	mov   r8, $1                      // atoms (uniform)
+	mov   r9, $0                      // atom array base (uniform)
+	mov   r10, 0                      // potential acc
+	mov   r11, $2                     // cutoff^2 (uniform)
+ATOM:
+	shl   r12, r7, 4                  // atom*16               .. scalar
+	iadd  r13, r9, r12                //                       .. scalar
+	ldg   r14, [r13]                  // ax  (scalar load)
+	ldg   r15, [r13+4]                // ay  (scalar load)
+	ldg   r16, [r13+8]                // charge (scalar load)
+	fmul  r24, r16, r16               // dielectric screen     .. scalar
+	fadd  r24, r24, 1.0               //                       .. scalar
+	rcp   r25, r24                    // scalar SFU
+	fmul  r26, r16, r25               // effective charge      .. scalar
+	fsub  r17, r5, r14                // dx                    .. vector
+	fsub  r18, r6, r15                // dy
+	fmul  r19, r17, r17
+	ffma  r19, r18, r18, r19          // r2
+	fsetp.gt p0, r19, r11             // outside cutoff?
+	@p0 bra SKIP
+	fadd  r20, r19, 0.01              //                       .. divergent vector
+	rsqrt r21, r20                    // 1/r   vector SFU (divergent)
+	fmul  r27, r26, 1.5               // in-range boost        .. divergent scalar
+	fadd  r27, r27, r26               //                       .. divergent scalar
+	ffma  r10, r27, r21, r10          // acc += q_boost/r
+SKIP:
+	iadd  r7, r7, 1                   //                       .. scalar
+	isetp.lt p0, r7, r8               //                       .. scalar
+	@p0 bra ATOM
+	shl   r22, r2, 2
+	iadd  r23, $3, r22
+	stg   [r23], r10
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "CC", Name: "cutcup", Suite: "Parboil",
+		Desc:  "cutoff Coulomb potential; scalar atom loads, divergent rsqrt",
+		Build: buildCC,
+	})
+}
+
+func buildCC(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(ccSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	const atoms = 20
+	ctas := 50 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(31)
+	atomData := make([]float32, atoms*4) // ax, ay, q, pad
+	for a := 0; a < atoms; a++ {
+		atomData[a*4+0] = r.floatRange(0, 64)
+		atomData[a*4+1] = r.floatRange(0, float32(n/64))
+		atomData[a*4+2] = r.floatRange(-1, 1)
+	}
+	mem := kernel.NewMemory()
+	aB := mem.AllocF32(atomData)
+	oB := mem.Alloc(n * 4)
+
+	const cutoff2 = float32(900)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = aB
+	lc.Params[1] = atoms
+	lc.Params[2] = math.Float32bits(cutoff2)
+	lc.Params[3] = oB
+
+	check := func() error {
+		got := mem.ReadF32(oB, n)
+		for i := 0; i < n; i++ {
+			x := float32(i % 64)
+			y := float32(i / 64)
+			var acc float32
+			for a := 0; a < atoms; a++ {
+				q := atomData[a*4+2]
+				qeff := q * rcpf(q*q+1)
+				dx := x - atomData[a*4]
+				dy := y - atomData[a*4+1]
+				r2 := ffma(dy, dy, dx*dx)
+				if r2 > cutoff2 {
+					continue
+				}
+				rinv := float32(1 / math.Sqrt(float64(r2+0.01)))
+				qboost := qeff*1.5 + qeff
+				acc = ffma(qboost, rinv, acc)
+			}
+			if got[i] != acc {
+				return errf("CC: out[%d] = %v, want %v", i, got[i], acc)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// LBM — lbm (Parboil). Lattice-Boltzmann collide/stream step: memory-
+// intensive (five distribution loads and stores per cell, sized to overflow
+// the L2) and heavily divergent — roughly half the executed instructions
+// sit on one side of the obstacle test, and both sides carry uniform
+// relaxation-constant chains, the paper's prime divergent-scalar case
+// (≈30 % of LBM's instructions).
+// ---------------------------------------------------------------------------
+
+const lbmSrc = `
+.kernel lbm
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // cell
+	shl   r3, r2, 2
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                    // obstacle flag
+	mov   r6, $2                      // N*4 (plane stride, uniform)
+	iadd  r7, $1, r3                  // &f0[cell]
+	ldg   r8, [r7]                    // f0
+	iadd  r9, r7, r6
+	ldg   r10, [r9]                   // f1
+	iadd  r11, r9, r6
+	ldg   r12, [r11]                  // f2
+	iadd  r13, r11, r6
+	ldg   r14, [r13]                  // f3
+	iadd  r15, r13, r6
+	ldg   r16, [r15]                  // f4
+	mov   r17, $3                     // omega (uniform)
+	rsqrt r4, r17                     // viscosity correction  .. scalar SFU
+	fmul  r4, r4, 0.05                //                       .. scalar
+	fadd  r17, r17, r4                // effective omega       .. scalar
+	isetp.eq p0, r5, 1
+	@p0 bra OBSTACLE
+	// fluid: BGK collision                              .. divergent mixed
+	fadd  r18, r8, r10
+	fadd  r19, r12, r14
+	fadd  r18, r18, r19
+	fadd  r18, r18, r16               // rho
+	fmul  r20, r17, 0.2               // omega/5              .. divergent scalar
+	fadd  r21, r20, 0.01              //                      .. divergent scalar
+	fmul  r29, r20, r20               // relaxation schedule  .. divergent scalar
+	ffma  r30, r29, 0.5, r21          //                      .. divergent scalar
+	fadd  r31, r30, r20               //                      .. divergent scalar
+	fmul  r21, r31, 0.9               //                      .. divergent scalar
+	fadd  r29, r21, r20               //                      .. divergent scalar
+	fmul  r21, r29, 0.8               //                      .. divergent scalar
+	fmul  r22, r18, r21               // feq
+	fsub  r23, r22, r8
+	ffma  r8, r23, r17, r8
+	fsub  r23, r22, r10
+	ffma  r10, r23, r17, r10
+	fsub  r23, r22, r12
+	ffma  r12, r23, r17, r12
+	fsub  r23, r22, r14
+	ffma  r14, r23, r17, r14
+	fsub  r23, r22, r16
+	ffma  r16, r23, r17, r16
+	bra STORE
+OBSTACLE:
+	// bounce-back with uniform reflection factors       .. divergent scalar
+	fmul  r24, r17, 0.5               //                      .. divergent scalar
+	fadd  r25, r24, 1.0               //                      .. divergent scalar
+	fmul  r26, r25, r24               //                      .. divergent scalar
+	fadd  r27, r26, r25               //                      .. divergent scalar
+	ffma  r26, r27, 0.125, r24        //                      .. divergent scalar
+	fadd  r27, r26, r27               //                      .. divergent scalar
+	fmul  r29, r27, r24               //                      .. divergent scalar
+	fadd  r27, r29, r27               //                      .. divergent scalar
+	fmul  r28, r10, r27               // scale swapped pair
+	fmul  r10, r12, r27
+	mov   r12, r28
+	fmul  r28, r14, r27
+	fmul  r14, r16, r27
+	mov   r16, r28
+STORE:
+	stg   [r7], r8
+	stg   [r9], r10
+	stg   [r11], r12
+	stg   [r13], r14
+	stg   [r15], r16
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "LBM", Name: "lbm", Suite: "Parboil",
+		Desc:  "lattice-Boltzmann step; memory-bound, ~half divergent",
+		Build: buildLBM,
+	})
+}
+
+func buildLBM(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(lbmSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	ctas := 192 * scale // large grid: the working set must overflow the L2
+	n := ctas * threadsPerCTA
+
+	r := newRNG(32)
+	flags := make([]uint32, n)
+	for i := range flags {
+		if r.uint32n(100) < 35 {
+			flags[i] = 1
+		}
+	}
+	f := make([]float32, 5*n)
+	for i := range f {
+		f[i] = r.floatRange(0.1, 1.1)
+	}
+	mem := kernel.NewMemory()
+	flB := mem.AllocU32(flags)
+	fB := mem.AllocF32(f)
+
+	const omega = float32(0.6)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = flB
+	lc.Params[1] = fB
+	lc.Params[2] = uint32(n * 4)
+	lc.Params[3] = math.Float32bits(omega)
+
+	check := func() error {
+		got := mem.ReadF32(fB, 5*n)
+		omegaEff := omega + float32(1/math.Sqrt(float64(omega)))*0.05
+		for i := 0; i < n; i++ {
+			fs := [5]float32{f[i], f[n+i], f[2*n+i], f[3*n+i], f[4*n+i]}
+			if flags[i] == 1 {
+				r24 := omegaEff * 0.5
+				r25 := r24 + 1
+				r26 := r25 * r24
+				r27 := r26 + r25
+				r26 = ffma(r27, 0.125, r24)
+				r27 = r26 + r27
+				r29 := r27 * r24
+				r27 = r29 + r27
+				f1, f2, f3, f4 := fs[1], fs[2], fs[3], fs[4]
+				fs[1] = f2 * r27
+				fs[2] = f1 * r27
+				fs[3] = f4 * r27
+				fs[4] = f3 * r27
+			} else {
+				rho := ((fs[0] + fs[1]) + (fs[2] + fs[3])) + fs[4]
+				r20 := omegaEff * 0.2
+				r21 := r20 + 0.01
+				r29 := r20 * r20
+				r30 := ffma(r29, 0.5, r21)
+				r31 := r30 + r20
+				coef := r31 * 0.9
+				coef = (coef + r20) * 0.8
+				feq := rho * coef
+				for k := 0; k < 5; k++ {
+					fs[k] = ffma(feq-fs[k], omegaEff, fs[k])
+				}
+			}
+			for k := 0; k < 5; k++ {
+				if got[k*n+i] != fs[k] {
+					return errf("LBM: f%d[%d] = %v, want %v", k, i, got[k*n+i], fs[k])
+				}
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// MG — mri-grid (Parboil). Gridding scatter: integer cell/offset arithmetic
+// over mid-sized index ranges, so operand vectors share only their upper
+// two or three bytes — the paper singles MG out (with MV) as a benchmark
+// where byte-wise compression beats the scalar-only register file by >40 %.
+// ---------------------------------------------------------------------------
+
+const mgSrc = `
+.kernel mrigrid
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // sample
+	shl   r3, r2, 2
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                    // sample coordinate (fixed point)
+	mov   r6, 0                       // tap
+	mov   r7, 0                       // acc
+TAP:
+	imul  r19, r6, 5                  // tap coefficient       .. scalar
+	iadd  r20, r19, 3                 //                       .. scalar
+	and   r21, r20, 7                 //                       .. scalar
+	imad  r8, r6, 37, r5              // neighbour code (2-byte-similar)
+	shr   r9, r8, 3                   // cell (2-byte-similar)
+	and   r10, r9, 4095
+	and   r11, r8, 7                  // sub-cell offset (3-byte: 0..7)
+	imul  r12, r11, r11               // weight numerator
+	iadd  r13, r12, 1
+	imad  r14, r10, 9, r13            // contribution
+	iadd  r14, r14, r21               // + tap coefficient
+	iadd  r7, r7, r14
+	shl   r15, r10, 2
+	iadd  r16, $1, r15
+	ldg   r17, [r16]                  // grid density (gather, 2-byte addrs)
+	iadd  r7, r7, r17
+	iadd  r6, r6, 1                   //                      .. scalar
+	isetp.lt p0, r6, 4                //                      .. scalar
+	@p0 bra TAP
+	iadd  r18, $2, r3
+	stg   [r18], r7
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "MG", Name: "mri-grid", Suite: "Parboil",
+		Desc:  "gridding scatter; 2/3-byte-similar index arithmetic",
+		Build: buildMG,
+	})
+}
+
+func buildMG(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(mgSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	ctas := 60 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(33)
+	samples := make([]uint32, n)
+	for i := range samples {
+		// Mid-range values: vectors across a warp share the top ~2 bytes.
+		samples[i] = 0x6000 + r.uint32n(0x4000)
+	}
+	density := make([]uint32, 4096)
+	for i := range density {
+		density[i] = r.uint32n(1000)
+	}
+	mem := kernel.NewMemory()
+	sB := mem.AllocU32(samples)
+	dB := mem.AllocU32(density)
+	oB := mem.Alloc(n * 4)
+
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = sB
+	lc.Params[1] = dB
+	lc.Params[2] = oB
+
+	check := func() error {
+		got := mem.ReadU32(oB, n)
+		for i := 0; i < n; i++ {
+			var acc int32
+			for tap := 0; tap < 4; tap++ {
+				coeff := (int32(tap)*5 + 3) & 7
+				code := int32(tap)*37 + int32(samples[i])
+				cell := (code >> 3) & 4095
+				off := code & 7
+				w := off*off + 1
+				acc += cell*9 + w + coeff
+				acc += int32(density[cell])
+			}
+			if got[i] != uint32(acc) {
+				return errf("MG: out[%d] = %d, want %d", i, int32(got[i]), acc)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// SAD — sad (Parboil). Sum-of-absolute-differences block matching; a search-
+// window boundary test sends part of each warp down a uniform penalty path
+// (paper: 19 % divergent-scalar instructions).
+// ---------------------------------------------------------------------------
+
+const sadSrc = `
+.kernel sad
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // block position
+	and   r3, r2, 31                  // search offset within row
+	shl   r4, r2, 2
+	iadd  r5, $0, r4
+	ldg   r6, [r5]                    // cur pixel group (per thread)
+	mov   r7, 0                       // sad acc
+	mov   r8, 0                       // k
+	mov   r9, $3                      // window edge (uniform)
+	shr   r20, r1, 5                  // warp phase: uniform per 32 threads
+	imul  r21, r20, 9                 // (full-scalar at warp 32; quarter-
+	iadd  r21, r21, 1                 //  scalar at warp 64, Figure 10)
+PIX:
+	imad  r22, r21, 3, r8             // warp-phased weight   .. scalar@32
+	iadd  r7, r7, r22
+	isetp.ge p0, r3, r9               // outside search window?
+	@p0 bra PENALTY
+	imad  r10, r8, 64, r2             //                      .. divergent mixed
+	and   r10, r10, 8191
+	shl   r11, r10, 2
+	iadd  r12, $1, r11
+	ldg   r13, [r12]                  // ref pixel (gather)
+	isub  r14, r6, r13
+	iabs  r14, r14
+	iadd  r7, r7, r14
+	bra NEXT
+PENALTY:
+	mov   r15, $4                     // uniform penalty      .. divergent scalar
+	imul  r16, r15, 3                 //                      .. divergent scalar
+	iadd  r17, r16, r15               //                      .. divergent scalar
+	shl   r19, r15, 1                 //                      .. divergent scalar
+	iadd  r17, r17, r19               //                      .. divergent scalar
+	iadd  r7, r7, r17                 //                      .. divergent mixed
+NEXT:
+	iadd  r8, r8, 1                   //                      .. scalar
+	isetp.lt p0, r8, 8                //                      .. scalar
+	@p0 bra PIX
+	iadd  r7, r7, r21                 // + warp-phase bias
+	iadd  r18, $2, r4
+	stg   [r18], r7
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "SAD", Name: "sad", Suite: "Parboil",
+		Desc:  "block matching; uniform penalty path under divergence",
+		Build: buildSAD,
+	})
+}
+
+func buildSAD(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(sadSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	ctas := 50 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(34)
+	cur := make([]uint32, n)
+	for i := range cur {
+		cur[i] = r.uint32n(256)
+	}
+	ref := make([]uint32, 8192)
+	for i := range ref {
+		ref[i] = r.uint32n(256)
+	}
+	mem := kernel.NewMemory()
+	cB := mem.AllocU32(cur)
+	rB := mem.AllocU32(ref)
+	oB := mem.Alloc(n * 4)
+
+	const edge = 24
+	const penalty = 7
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = cB
+	lc.Params[1] = rB
+	lc.Params[2] = oB
+	lc.Params[3] = edge
+	lc.Params[4] = penalty
+
+	check := func() error {
+		got := mem.ReadU32(oB, n)
+		for i := 0; i < n; i++ {
+			off := i % 32
+			wp := int32((i%threadsPerCTA)>>5)*9 + 1
+			acc := wp
+			for k := 0; k < 8; k++ {
+				acc += wp*3 + int32(k)
+				if off >= edge {
+					acc += penalty*3 + penalty + penalty*2
+					continue
+				}
+				idx := (k*64 + i) & 8191
+				d := int32(cur[i]) - int32(ref[idx])
+				if d < 0 {
+					d = -d
+				}
+				acc += d
+			}
+			if got[i] != uint32(acc) {
+				return errf("SAD: out[%d] = %d, want %d", i, int32(got[i]), acc)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// MV — spmv (Parboil). CSR sparse matrix-vector product: per-row trip
+// counts differ, so lanes drain out of the inner loop one by one (loop
+// divergence); column/value gathers give 2/3-byte-similar operands and few
+// scalars.
+// ---------------------------------------------------------------------------
+
+const mvSrc = `
+.kernel spmv
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // row
+	shl   r3, r2, 2
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                    // rowptr[row]
+	ldg   r6, [r4+4]                  // rowptr[row+1]
+	mov   r7, 0                       // acc
+LOOP:
+	isetp.ge p0, r5, r6               // row exhausted?
+	@p0 bra DONE
+	shl   r8, r5, 2                   //                      .. divergent vector
+	iadd  r9, $1, r8
+	ldg   r10, [r9]                   // colidx (gather)
+	iadd  r11, $2, r8
+	ldg   r12, [r11]                  // value (gather)
+	shl   r13, r10, 2
+	iadd  r14, $3, r13
+	ldg   r15, [r14]                  // x[col] (gather)
+	fmul  r16, r12, r15
+	fadd  r7, r7, r16
+	iadd  r5, r5, 1
+	bra LOOP
+DONE:
+	iadd  r17, $4, r3
+	stg   [r17], r7
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "MV", Name: "spmv", Suite: "Parboil",
+		Desc:  "CSR sparse matrix-vector product with loop divergence",
+		Build: buildMV,
+	})
+}
+
+func buildMV(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(mvSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	ctas := 40 * scale
+	rows := ctas * threadsPerCTA
+
+	r := newRNG(35)
+	rowptr := make([]uint32, rows+1)
+	var nnz uint32
+	for i := 0; i < rows; i++ {
+		rowptr[i] = nnz
+		// Nearly balanced rows: little loop divergence, and row pointers /
+		// loop counters across a warp stay within a 2-byte span, giving MV
+		// the paper's "many 3-byte and 2-byte accesses, few scalars" mix.
+		nnz += 6 + r.uint32n(3)
+	}
+	rowptr[rows] = nnz
+	colidx := make([]uint32, nnz)
+	vals := make([]float32, nnz)
+	xs := make([]float32, rows)
+	for i := range colidx {
+		colidx[i] = r.uint32n(uint32(rows))
+		vals[i] = r.floatRange(-1, 1)
+	}
+	for i := range xs {
+		xs[i] = r.floatRange(-1, 1)
+	}
+	mem := kernel.NewMemory()
+	rpB := mem.AllocU32(rowptr)
+	ciB := mem.AllocU32(colidx)
+	vB := mem.AllocF32(vals)
+	xB := mem.AllocF32(xs)
+	oB := mem.Alloc(rows * 4)
+
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = rpB
+	lc.Params[1] = ciB
+	lc.Params[2] = vB
+	lc.Params[3] = xB
+	lc.Params[4] = oB
+
+	check := func() error {
+		got := mem.ReadF32(oB, rows)
+		for row := 0; row < rows; row++ {
+			var acc float32
+			for k := rowptr[row]; k < rowptr[row+1]; k++ {
+				acc += vals[k] * xs[colidx[k]]
+			}
+			if got[row] != acc {
+				return errf("MV: out[%d] = %v, want %v", row, got[row], acc)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// ACF — tpacf (Parboil). Angular correlation: point pairs stream through
+// warp-uniform loads, distances go through vector sqrt/lg2, and histogram
+// binning is a chain of divergent comparisons against uniform bin edges.
+// ---------------------------------------------------------------------------
+
+const acfSrc = `
+.kernel tpacf
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // point i
+	shl   r3, r2, 3
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                    // xi
+	ldg   r6, [r4+4]                  // yi
+	mov   r7, 0                       // j
+	mov   r8, $1                      // npoints (uniform)
+	mov   r9, $2                      // points base (uniform)
+	mov   r10, 0                      // bin0 count
+	mov   r11, 0                      // bin1 count
+	mov   r12, 0                      // bin2 count
+PAIR:
+	shl   r13, r7, 3                  //                      .. scalar
+	iadd  r14, r9, r13                //                      .. scalar
+	ldg   r15, [r14]                  // xj (scalar load)
+	ldg   r16, [r14+4]                // yj (scalar load)
+	fmul  r24, r15, r15               // |pj|^2 norm          .. scalar
+	ffma  r24, r16, r16, r24          //                      .. scalar
+	fadd  r24, r24, 1.0               //                      .. scalar
+	rsqrt r25, r24                    // scalar SFU
+	fmul  r17, r5, r15
+	ffma  r17, r6, r16, r17           // dot
+	fmul  r17, r17, r25               // normalised dot
+	fsub  r18, 1.0, r17
+	fabs  r18, r18
+	fadd  r18, r18, 0.001
+	sqrt  r19, r18                    // angular distance  vector SFU
+	lg2   r20, r19                    // log distance      vector SFU
+	and   r26, r7, 3                  // pair weight          .. scalar
+	iadd  r26, r26, 1                 //                      .. scalar
+	fsetp.lt p0, r20, $3              // < edge0?
+	@p0 bra BIN0
+	fsetp.lt p0, r20, $4              // < edge1?           .. divergent
+	@p0 bra BIN1
+	imul  r27, r26, 3                 //                      .. divergent scalar
+	iadd  r12, r12, r27               //                      .. divergent scalar
+	bra BINNED
+BIN0:
+	shl   r27, r26, 1                 //                      .. divergent scalar
+	iadd  r10, r10, r27               //                      .. divergent scalar
+	bra BINNED
+BIN1:
+	iadd  r27, r26, 2                 //                      .. divergent scalar
+	iadd  r11, r11, r27               //                      .. divergent scalar
+BINNED:
+	iadd  r7, r7, 1                   //                      .. scalar
+	isetp.lt p0, r7, r8               //                      .. scalar
+	@p0 bra PAIR
+	shl   r21, r2, 2
+	iadd  r22, $5, r21
+	imad  r23, r11, 1000, r10
+	imad  r23, r12, 1000000, r23      // pack the three bins
+	stg   [r22], r23
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "ACF", Name: "tpacf", Suite: "Parboil",
+		Desc:  "angular correlation; divergent histogram binning",
+		Build: buildACF,
+	})
+}
+
+func buildACF(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(acfSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	const npoints = 16
+	ctas := 40 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(36)
+	pts := make([]float32, 2*(n+npoints))
+	for i := range pts {
+		pts[i] = r.floatRange(-1, 1)
+	}
+	mem := kernel.NewMemory()
+	pB := mem.AllocF32(pts)
+	refB := pB // the first npoints pairs double as the reference set
+	oB := mem.Alloc(n * 4)
+
+	const edge0 = float32(-1.5)
+	const edge1 = float32(-0.25)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = pB
+	lc.Params[1] = npoints
+	lc.Params[2] = refB
+	lc.Params[3] = math.Float32bits(edge0)
+	lc.Params[4] = math.Float32bits(edge1)
+	lc.Params[5] = oB
+
+	check := func() error {
+		got := mem.ReadU32(oB, n)
+		for i := 0; i < n; i++ {
+			xi, yi := pts[2*i], pts[2*i+1]
+			var b0, b1, b2 uint32
+			for j := 0; j < npoints; j++ {
+				xj, yj := pts[2*j], pts[2*j+1]
+				norm := ffma(yj, yj, xj*xj) + 1
+				rn := float32(1 / math.Sqrt(float64(norm)))
+				dot := ffma(yi, yj, xi*xj) * rn
+				d := float32(math.Abs(float64(1 - dot)))
+				dist := float32(math.Sqrt(float64(d + 0.001)))
+				lg := float32(math.Log2(float64(dist)))
+				w := uint32(j&3) + 1
+				switch {
+				case lg < edge0:
+					b0 += 2 * w
+				case lg < edge1:
+					b1 += w + 2
+				default:
+					b2 += 3 * w
+				}
+			}
+			want := b2*1000000 + b1*1000 + b0
+			if got[i] != want {
+				return errf("ACF: out[%d] = %d, want %d", i, got[i], want)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}

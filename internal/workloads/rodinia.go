@@ -1,0 +1,831 @@
+package workloads
+
+import (
+	"math"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/kernel"
+)
+
+// ---------------------------------------------------------------------------
+// BT — b+tree (Rodinia). Per-thread key lookups walking a binary index:
+// gather loads, per-lane comparison-driven child selection, and a rarely
+// taken divergent early-out. Moderate divergence, mostly vector work.
+// ---------------------------------------------------------------------------
+
+const btSrc = `
+.kernel btree
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // query id
+	shl   r3, r2, 2
+	iadd  r4, $1, r3
+	ldg   r5, [r4]                    // target key (per thread)
+	mov   r6, 0                       // node index
+	mov   r7, 0                       // depth
+	mov   r8, $3                      // depth limit (uniform)
+	mov   r9, 0                       // result
+	shr   r17, r1, 5                  // warp phase: uniform per 32 threads
+	imul  r18, r17, 3                 // (Figure 10 quarter-scalar source)
+LOOP:
+	shl   r10, r6, 2
+	iadd  r11, $0, r10
+	ldg   r12, [r11]                  // node key (gather)
+	isetp.eq p1, r12, r5
+	@p1 bra FOUND                     // divergent early-out
+	isetp.lt p0, r5, r12
+	shl   r13, r6, 1
+	iadd  r14, r13, 1                 // left child
+	iadd  r15, r13, 2                 // right child
+	selp  r6, r14, r15, p0
+	iadd  r7, r7, 1                   //                    .. scalar
+	isetp.lt p0, r7, r8               //                    .. scalar
+	@p0 bra LOOP
+	mov   r9, -1                      // not found
+	bra STORE
+FOUND:
+	iadd  r9, r6, 1                   // found at node
+STORE:
+	iadd  r9, r9, r18                 // + warp-phase bias
+	iadd  r16, $2, r3
+	stg   [r16], r9
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "BT", Name: "b+tree", Suite: "Rodinia",
+		Desc:  "index lookups with gather loads and divergent early-out",
+		Build: buildBT,
+	})
+}
+
+func buildBT(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(btSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	const depth = 10
+	ctas := 50 * scale
+	n := ctas * threadsPerCTA
+	nodes := 1<<(depth+1) - 1
+
+	r := newRNG(21)
+	tree := make([]uint32, nodes)
+	for i := range tree {
+		tree[i] = r.uint32n(1 << 16)
+	}
+	queries := make([]uint32, n)
+	for i := range queries {
+		queries[i] = r.uint32n(1 << 16)
+	}
+	mem := kernel.NewMemory()
+	treeB := mem.AllocU32(tree)
+	qB := mem.AllocU32(queries)
+	outB := mem.Alloc(n * 4)
+
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = treeB
+	lc.Params[1] = qB
+	lc.Params[2] = outB
+	lc.Params[3] = depth
+
+	check := func() error {
+		got := mem.ReadU32(outB, n)
+		for i := 0; i < n; i++ {
+			node := 0
+			res := int32(-1)
+			for d := 0; d < depth; d++ {
+				key := tree[node]
+				if key == queries[i] {
+					res = int32(node) + 1
+					break
+				}
+				if int32(queries[i]) < int32(key) {
+					node = 2*node + 1
+				} else {
+					node = 2*node + 2
+				}
+			}
+			res += int32((i%threadsPerCTA)>>5) * 3
+			if got[i] != uint32(res) {
+				return errf("BT: out[%d] = %d, want %d", i, int32(got[i]), res)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// HS — hotspot (Rodinia). Thermal stencil over time steps; a border band of
+// each warp takes the ambient-clamp path, whose arithmetic runs entirely on
+// uniform constants — the divergent-scalar pattern (paper: 17 % of HS's
+// instructions are divergent scalar).
+// ---------------------------------------------------------------------------
+
+const hsSrc = `
+.kernel hotspot
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // cell
+	and   r3, r2, 63                  // col (W = 64)
+	shl   r5, r2, 2
+	iadd  r6, $0, r5
+	ldg   r7, [r6]                    // temp (per thread)
+	iadd  r8, $1, r5
+	ldg   r9, [r8]                    // power (per thread)
+	mov   r10, $2                     // ambient (uniform)
+	mov   r11, $3                     // conduction coef (uniform)
+	ldg   r13, [r6+4]                 // east
+	ldg   r14, [r6-4]                 // west
+	mov   r20, 0                      // step
+	mov   r21, $5                     // steps (uniform)
+	mov   r22, 0                      // acc
+	shr   r27, r1, 5                  // warp phase: uniform per 32 threads
+	imul  r28, r27, 5                 // (full-scalar at warp 32; quarter-
+	iadd  r28, r28, 2                 //  scalar at warp 64, Figure 10)
+	i2f   r29, r28
+STEP:
+	iadd  r30, r28, r20               // warp-phased schedule .. scalar@32
+	i2f   r24, r30                    //                      .. scalar@32
+	fmul  r25, r24, 0.1               //                      .. scalar@32
+	ex2   r26, r25                    // decay      SFU, scalar@32/quarter@64
+	isetp.lt p0, r3, 8
+	@p0 bra BORDER
+	isetp.ge p0, r3, 56
+	@p0 bra BORDER
+	fadd  r15, r13, r14               // neighbour sum        .. divergent vector
+	fmul  r16, r15, r11
+	ffma  r17, r7, 0.8, r16
+	ffma  r17, r9, 0.05, r17
+	bra JOIN
+BORDER:
+	fmul  r18, r10, r11               // uniform chain        .. divergent scalar
+	fadd  r19, r18, r10               //                      .. divergent scalar
+	fmul  r18, r19, 0.5               //                      .. divergent scalar
+	ffma  r17, r19, 0.125, r18        //                      .. divergent scalar
+JOIN:
+	ffma  r22, r17, r26, r22          // acc += step * decay
+	iadd  r20, r20, 1                 //                      .. scalar
+	isetp.lt p0, r20, r21             //                      .. scalar
+	@p0 bra STEP
+	fadd  r22, r22, r29               // + warp-phase bias
+	iadd  r23, $4, r5
+	stg   [r23], r22
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "HS", Name: "hotspot", Suite: "Rodinia",
+		Desc:  "thermal stencil; border lanes run a uniform ambient-clamp path",
+		Build: buildHS,
+	})
+}
+
+func buildHS(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(hsSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	const steps = 8
+	ctas := 50 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(22)
+	// temp is padded by one cell on each side: the kernel reads [r6±4], so
+	// cell 0's west and cell n-1's east land in the pads.
+	temp := make([]float32, n+2)
+	pw := make([]float32, n)
+	for i := range temp {
+		temp[i] = r.floatRange(300, 340)
+	}
+	for i := range pw {
+		pw[i] = r.floatRange(0, 2)
+	}
+	mem := kernel.NewMemory()
+	tPad := mem.AllocF32(temp)
+	tB := tPad + 4 // &temp[1]: kernel cell i is temp[i+1]
+	pB := mem.AllocF32(pw)
+	oB := mem.Alloc(n * 4)
+
+	const ambient = float32(320)
+	const coef = float32(0.25)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = tB
+	lc.Params[1] = pB
+	lc.Params[2] = math.Float32bits(ambient)
+	lc.Params[3] = math.Float32bits(coef)
+	lc.Params[4] = oB
+	lc.Params[5] = steps
+
+	check := func() error {
+		got := mem.ReadF32(oB, n)
+		for i := 0; i < n; i++ {
+			col := i % 64
+			var acc float32
+			wp := ((i%threadsPerCTA)>>5)*5 + 2
+			for s := 0; s < steps; s++ {
+				decay := ex2f(float32(s+wp) * 0.1)
+				var r17 float32
+				if col < 8 || col >= 56 {
+					r18 := ambient * coef
+					r19 := r18 + ambient
+					r18b := r19 * 0.5
+					r17 = ffma(r19, 0.125, r18b)
+				} else {
+					r15 := temp[i+2] + temp[i] // east + west around temp[i+1]
+					r16 := r15 * coef
+					r17 = ffma(temp[i+1], 0.8, r16)
+					r17 = ffma(pw[i], 0.05, r17)
+				}
+				acc = ffma(r17, decay, acc)
+			}
+			acc += float32(wp)
+			if got[i] != acc {
+				return errf("HS: out[%d] = %v, want %v", i, got[i], acc)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// HW — heartwall (Rodinia). Image tracking: a data-dependent ROI test
+// splits each warp, and the ROI path loops over a template fetched through
+// warp-uniform addresses — divergent scalar loads and arithmetic. Roughly
+// half of HW's instructions are divergent (paper §4.2).
+// ---------------------------------------------------------------------------
+
+const hwSrc = `
+.kernel heartwall
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // pixel
+	shl   r3, r2, 2
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                    // pixel value (per thread)
+	mov   r6, $2                      // threshold (uniform)
+	mov   r7, 0                       // acc
+	fmul  r20, r6, r6                 // uniform gain chain   .. scalar
+	fadd  r21, r20, 0.5               //                      .. scalar
+	rcp   r22, r21                    // scalar SFU
+	fsetp.gt p0, r5, r6               // in ROI?
+	@!p0 bra OUTSIDE
+	mov   r8, 0                       // t
+	mov   r9, $3                      // template base (uniform)
+TMPL:
+	shl   r10, r8, 2                  //                      .. divergent scalar
+	iadd  r11, r9, r10                //                      .. divergent scalar
+	ldg   r12, [r11]                  // template[t]          .. divergent scalar load
+	fsub  r13, r5, r12                //                      .. divergent vector
+	fabs  r14, r13
+	fadd  r7, r7, r14
+	iadd  r8, r8, 1                   //                      .. divergent scalar
+	isetp.lt p1, r8, 4                //                      .. divergent scalar
+	@p1 bra TMPL
+	bra SMOOTH
+OUTSIDE:
+	fmul  r7, r5, 0.0625              // decay                .. divergent vector
+SMOOTH:
+	mov   r15, 0                      // smoothing step
+POST:
+	fmul  r16, r7, r22                // gain                 .. vector
+	ffma  r7, r16, 0.125, r7          //                      .. vector
+	iadd  r15, r15, 1                 //                      .. scalar
+	isetp.lt p1, r15, 3               //                      .. scalar
+	@p1 bra POST
+	iadd  r17, $1, r3
+	stg   [r17], r7
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "HW", Name: "heartwall", Suite: "Rodinia",
+		Desc:  "ROI tracking; template loop under a divergent mask",
+		Build: buildHW,
+	})
+}
+
+func buildHW(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(hwSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	ctas := 50 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(23)
+	img := make([]float32, n)
+	for i := range img {
+		img[i] = r.floatRange(0, 1)
+	}
+	tmpl := make([]float32, 8)
+	for i := range tmpl {
+		tmpl[i] = r.floatRange(0.4, 0.9)
+	}
+	mem := kernel.NewMemory()
+	iB := mem.AllocF32(img)
+	oB := mem.Alloc(n * 4)
+	tB := mem.AllocF32(tmpl)
+
+	const threshold = float32(0.5)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = iB
+	lc.Params[1] = oB
+	lc.Params[2] = math.Float32bits(threshold)
+	lc.Params[3] = tB
+
+	check := func() error {
+		got := mem.ReadF32(oB, n)
+		gain := rcpf(threshold*threshold + 0.5)
+		for i := 0; i < n; i++ {
+			var acc float32
+			if img[i] > threshold {
+				for t := 0; t < 4; t++ {
+					d := img[i] - tmpl[t]
+					acc += float32(math.Abs(float64(d)))
+				}
+			} else {
+				acc = img[i] * 0.0625
+			}
+			for s := 0; s < 3; s++ {
+				acc = ffma(acc*gain, 0.125, acc)
+			}
+			if got[i] != acc {
+				return errf("HW: out[%d] = %v, want %v", i, got[i], acc)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// LC — leukocyte (Rodinia). Cell detection with long-latency integer
+// divides in its inner loop and too few resident warps to hide latency —
+// the paper's worst case for the +3-cycle G-Scalar pipeline.
+// ---------------------------------------------------------------------------
+
+const lcSrc = `
+.kernel leukocyte
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // cell candidate
+	shl   r3, r2, 2
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                    // seed position (per thread)
+	mov   r6, 0                       // iter
+	mov   r7, $2                      // iters (uniform)
+	mov   r8, 0                       // acc
+	mov   r9, $3                      // image width (uniform)
+LOOP:
+	imad  r10, r5, 17, r6             // candidate offset
+	iabs  r10, r10
+	idiv  r11, r10, r9                // row  (long-latency divide)
+	irem  r12, r10, r9                // col
+	isetp.lt p0, r12, 4               // near left membrane?
+	@p0 bra EDGE
+	imul  r19, r6, 7                  // window schedule      .. divergent scalar
+	iadd  r20, r19, 3                 //                      .. divergent scalar
+	and   r20, r20, 15                //                      .. divergent scalar
+	imad  r13, r11, r9, r12
+	and   r13, r13, 8191
+	shl   r14, r13, 2
+	iadd  r15, $1, r14
+	ldg   r16, [r15]                  // image pixel (gather)
+	iadd  r8, r8, r16
+	iadd  r8, r8, r20
+	bra NEXT
+EDGE:
+	mov   r21, $5                     // membrane penalty     .. divergent scalar
+	imul  r22, r21, 5                 //                      .. divergent scalar
+	iadd  r22, r22, r21               //                      .. divergent scalar
+	imul  r17, r11, 3                 //                      .. divergent
+	iadd  r17, r17, r22
+	iadd  r8, r8, r17
+NEXT:
+	iadd  r5, r5, r11                 // drift
+	iadd  r6, r6, 1                   //                      .. scalar
+	isetp.lt p0, r6, r7               //                      .. scalar
+	@p0 bra LOOP
+	iadd  r18, $4, r3
+	stg   [r18], r8
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "LC", Name: "leukocyte", Suite: "Rodinia",
+		Desc:  "cell tracking; integer divides, few resident warps",
+		Build: buildLC,
+	})
+}
+
+func buildLC(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(lcSrc)
+	if err != nil {
+		return nil, err
+	}
+	// Deliberately few warps per SM: small CTAs spread across all SMs, so
+	// latency hiding is poor everywhere (the paper: LC lacks warps to hide
+	// its long-latency divides, making it most sensitive to the +3 cycles).
+	const threadsPerCTA = 64
+	const iters = 24
+	const width = 37
+	const penalty = 2
+	ctas := 30 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(24)
+	seeds := make([]uint32, n)
+	for i := range seeds {
+		seeds[i] = r.uint32n(1 << 12)
+	}
+	img := make([]uint32, 8192)
+	for i := range img {
+		img[i] = r.uint32n(256)
+	}
+	mem := kernel.NewMemory()
+	sB := mem.AllocU32(seeds)
+	iB := mem.AllocU32(img)
+	oB := mem.Alloc(n * 4)
+
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = sB
+	lc.Params[1] = iB
+	lc.Params[2] = iters
+	lc.Params[3] = width
+	lc.Params[4] = oB
+	lc.Params[5] = penalty
+
+	check := func() error {
+		got := mem.ReadU32(oB, n)
+		for i := 0; i < n; i++ {
+			pos := int32(seeds[i])
+			var acc int32
+			for it := 0; it < iters; it++ {
+				off := pos*17 + int32(it)
+				if off < 0 {
+					off = -off
+				}
+				row := off / width
+				col := off % width
+				if col < 4 {
+					acc += row*3 + penalty*5 + penalty
+				} else {
+					idx := (row*width + col) & 8191
+					acc += int32(img[idx]) + ((int32(it)*7 + 3) & 15)
+				}
+				pos += row
+			}
+			if got[i] != uint32(acc) {
+				return errf("LC: out[%d] = %d, want %d", i, int32(got[i]), acc)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// PF — pathfinder (Rodinia). Row-by-row dynamic programming through shared
+// memory with a barrier per row; the strip edges take a divergent clamp
+// branch. Warp-uniform row bookkeeping provides scalar work.
+// ---------------------------------------------------------------------------
+
+const pfSrc = `
+.kernel pathfinder
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1   // column
+	shl   r3, r1, 2                   // shared offset of this thread
+	shl   r4, r2, 2
+	iadd  r5, $0, r4
+	ldg   r6, [r5]                    // first row cost
+	sts   [r3], r6
+	bar
+	mov   r7, 1                       // row
+	mov   r8, $3                      // rows (uniform)
+	mov   r9, $4                      // row stride bytes (uniform)
+ROW:
+	lds   r10, [r3]                   // centre
+	isetp.eq p0, r1, 0
+	@p0 bra LEFTEDGE
+	lds   r11, [r3-4]                 // left
+	bra LDONE
+LEFTEDGE:
+	mov   r11, r10                    //                      .. divergent
+LDONE:
+	mov   r12, %ntid.x
+	iadd  r12, r12, -1
+	isetp.eq p0, r1, r12
+	@p0 bra RIGHTEDGE
+	lds   r13, [r3+4]                 // right
+	bra RDONE
+RIGHTEDGE:
+	mov   r13, r10                    //                      .. divergent
+RDONE:
+	imin  r14, r11, r13
+	imin  r14, r14, r10
+	imad  r15, r7, r9, r4             // &cost[row][col]      .. mixed
+	iadd  r16, $0, r15
+	ldg   r17, [r16]
+	imul  r21, r7, 3                  // row hazard weight    .. scalar
+	iadd  r21, r21, 1                 //                      .. scalar
+	and   r21, r21, 15                //                      .. scalar
+	iadd  r23, r21, 1                 // detour scale         .. scalar
+	i2f   r23, r23                    //                      .. scalar
+	rcp   r24, r23                    // scalar SFU
+	fmul  r24, r24, 64.0              //                      .. scalar
+	f2i   r25, r24                    //                      .. scalar
+	iadd  r18, r14, r17               // new value
+	iadd  r18, r18, r21               // + hazard weight
+	iadd  r18, r18, r25               // + detour scale
+	bar
+	sts   [r3], r18
+	bar
+	iadd  r7, r7, 1                   //                      .. scalar
+	isetp.lt p0, r7, r8               //                      .. scalar
+	@p0 bra ROW
+	lds   r19, [r3]
+	iadd  r20, $1, r4
+	stg   [r20], r19
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "PF", Name: "pathfinder", Suite: "Rodinia",
+		Desc:  "grid DP with barriers and divergent edge clamping",
+		Build: buildPF,
+	})
+}
+
+func buildPF(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(pfSrc)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	const rows = 12
+	ctas := 40 * scale
+	cols := ctas * threadsPerCTA
+
+	r := newRNG(25)
+	cost := make([]uint32, rows*cols)
+	for i := range cost {
+		cost[i] = r.uint32n(10)
+	}
+	mem := kernel.NewMemory()
+	cB := mem.AllocU32(cost)
+	oB := mem.Alloc(cols * 4)
+
+	lc := &kernel.LaunchConfig{
+		Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1},
+		SharedBytes: threadsPerCTA * 4,
+	}
+	lc.Params[0] = cB
+	lc.Params[1] = oB
+	lc.Params[3] = rows
+	lc.Params[4] = uint32(cols * 4)
+
+	check := func() error {
+		got := mem.ReadU32(oB, cols)
+		// DP with per-CTA strips: the clamp is at CTA boundaries.
+		cur := make([]int32, cols)
+		for c := 0; c < cols; c++ {
+			cur[c] = int32(cost[c])
+		}
+		next := make([]int32, cols)
+		for row := 1; row < rows; row++ {
+			for c := 0; c < cols; c++ {
+				tid := c % threadsPerCTA
+				l, rr := cur[c], cur[c]
+				if tid > 0 {
+					l = cur[c-1]
+				}
+				if tid < threadsPerCTA-1 {
+					rr = cur[c+1]
+				}
+				m := min3(l, rr, cur[c])
+				weight := (int32(row)*3 + 1) & 15
+				detour := int32(rcpf(float32(weight+1)) * 64)
+				next[c] = m + int32(cost[row*cols+c]) + weight + detour
+			}
+			cur, next = next, cur
+		}
+		for c := 0; c < cols; c++ {
+			if got[c] != uint32(cur[c]) {
+				return errf("PF: out[%d] = %d, want %d", c, int32(got[c]), cur[c])
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+func min3(a, b, c int32) int32 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// SR1 — srad_1 (Rodinia). Diffusion-coefficient pass: per-thread gradient
+// work with vector SFU (rsqrt/rcp) and uniform lambda bookkeeping; almost
+// non-divergent.
+// ---------------------------------------------------------------------------
+
+const sr1Src = `
+.kernel srad1
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1
+	shl   r3, r2, 2
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                    // J centre
+	ldg   r6, [r4+4]                  // east
+	ldg   r7, [r4-4]                  // west
+	mov   r8, $2                      // lambda (uniform)
+	mov   r9, $3                      // q0 (uniform)
+	fsub  r10, r6, r5                 // dE
+	fsub  r11, r7, r5                 // dW
+	fmul  r12, r10, r10
+	ffma  r12, r11, r11, r12          // grad^2
+	fadd  r13, r12, 0.0001
+	rsqrt r14, r13                    // vector SFU
+	fmul  r15, r12, r14               // normalised gradient
+	fmul  r16, r9, r8                 // uniform               .. scalar
+	fadd  r17, r16, 1.0               //                       .. scalar
+	fmul  r22, r16, 0.5               // lambda schedule       .. scalar
+	ffma  r17, r22, 0.25, r17         //                       .. scalar
+	rsqrt r23, r17                    // contrast norm   scalar SFU
+	fmul  r24, r23, 0.0625            //                       .. scalar
+	fadd  r17, r17, r24               //                       .. scalar
+	fadd  r18, r15, r17
+	rcp   r19, r18                    // c = 1/(1+q)  vector SFU
+	fmul  r20, r19, r5
+	iadd  r21, $1, r3
+	stg   [r21], r20
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "SR1", Name: "srad_1", Suite: "Rodinia",
+		Desc:  "SRAD diffusion coefficients; vector rsqrt/rcp",
+		Build: buildSR1,
+	})
+}
+
+func buildSR1(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(sr1Src)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	ctas := 70 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(26)
+	// Padded on both sides: kernel cell i is j[i+1].
+	j := make([]float32, n+2)
+	for i := range j {
+		j[i] = r.floatRange(1, 2)
+	}
+	mem := kernel.NewMemory()
+	jPad := mem.AllocF32(j)
+	jB := jPad + 4
+	oB := mem.Alloc(n * 4)
+
+	const lambda = float32(0.5)
+	const q0 = float32(0.25)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = jB
+	lc.Params[1] = oB
+	lc.Params[2] = math.Float32bits(lambda)
+	lc.Params[3] = math.Float32bits(q0)
+
+	check := func() error {
+		got := mem.ReadF32(oB, n)
+		for i := 0; i < n; i++ {
+			centre := j[i+1]
+			dE := j[i+2] - centre
+			dW := j[i] - centre
+			g2 := ffma(dW, dW, dE*dE)
+			r14 := float32(1 / math.Sqrt(float64(g2+0.0001)))
+			r15 := g2 * r14
+			r16 := q0 * lambda
+			r17 := r16 + 1
+			r17 = ffma(r16*0.5, 0.25, r17)
+			r23 := float32(1 / math.Sqrt(float64(r17)))
+			r17 += r23 * 0.0625
+			c := rcpf(r15 + r17)
+			want := c * centre
+			if got[i] != want {
+				return errf("SR1: out[%d] = %v, want %v", i, got[i], want)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}
+
+// ---------------------------------------------------------------------------
+// SR2 — srad_2 (Rodinia). Update pass with a data-dependent threshold
+// branch; the saturate path computes from uniform constants (divergent
+// scalar).
+// ---------------------------------------------------------------------------
+
+const sr2Src = `
+.kernel srad2
+	mov   r1, %tid.x
+	imad  r2, %ctaid.x, %ntid.x, r1
+	shl   r3, r2, 2
+	iadd  r4, $0, r3
+	ldg   r5, [r4]                    // c (per thread)
+	iadd  r6, $1, r3
+	ldg   r7, [r6]                    // J (per thread)
+	mov   r8, $2                      // lambda (uniform)
+	mov   r9, $3                      // cap (uniform)
+	fsetp.gt p0, r5, r9               // saturated?
+	@p0 bra SATURATE
+	fmul  r10, r5, r8                 //                      .. divergent vector
+	ffma  r11, r10, r7, r7
+	bra STORE
+SATURATE:
+	fmul  r12, r9, r8                 // uniform              .. divergent scalar
+	fadd  r13, r12, r9                //                      .. divergent scalar
+	fmul  r14, r13, 0.5               //                      .. divergent scalar
+	ffma  r11, r14, 0.25, r13         //                      .. divergent scalar
+STORE:
+	iadd  r15, $4, r3
+	stg   [r15], r11
+	exit
+`
+
+func init() {
+	register(Workload{
+		Abbr: "SR2", Name: "srad_2", Suite: "Rodinia",
+		Desc:  "SRAD update; uniform saturate path under divergence",
+		Build: buildSR2,
+	})
+}
+
+func buildSR2(scale int) (*Instance, error) {
+	prog, err := asm.Assemble(sr2Src)
+	if err != nil {
+		return nil, err
+	}
+	const threadsPerCTA = 256
+	ctas := 70 * scale
+	n := ctas * threadsPerCTA
+
+	r := newRNG(27)
+	c := make([]float32, n)
+	j := make([]float32, n)
+	for i := range c {
+		c[i] = r.floatRange(0, 1)
+		j[i] = r.floatRange(1, 2)
+	}
+	mem := kernel.NewMemory()
+	cB := mem.AllocF32(c)
+	jB := mem.AllocF32(j)
+	oB := mem.Alloc(n * 4)
+
+	const lambda = float32(0.5)
+	const cap = float32(0.7)
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: ctas, Y: 1}, Block: kernel.Dim{X: threadsPerCTA, Y: 1}}
+	lc.Params[0] = cB
+	lc.Params[1] = jB
+	lc.Params[2] = math.Float32bits(lambda)
+	lc.Params[3] = math.Float32bits(cap)
+	lc.Params[4] = oB
+
+	check := func() error {
+		got := mem.ReadF32(oB, n)
+		for i := 0; i < n; i++ {
+			var want float32
+			if c[i] > cap {
+				r12 := cap * lambda
+				r13 := r12 + cap
+				r14 := r13 * 0.5
+				want = ffma(r14, 0.25, r13)
+			} else {
+				r10 := c[i] * lambda
+				want = ffma(r10, j[i], j[i])
+			}
+			if got[i] != want {
+				return errf("SR2: out[%d] = %v, want %v", i, got[i], want)
+			}
+		}
+		return nil
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem, Check: check}, nil
+}

@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"testing"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/isa"
+)
+
+// TestWorkloadProgramStructure pins static well-formedness of every
+// benchmark kernel: valid reconvergence PCs, a register budget that allows
+// multi-CTA residency under the 128 KB register file, and clean results
+// from the compile-time analyses.
+func TestWorkloadProgramStructure(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Abbr, func(t *testing.T) {
+			inst, err := w.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := inst.Prog
+
+			// Register budget: a 256-thread CTA must fit at least 3x into
+			// the 128 KB register file (i.e. <= ~42 regs/thread) so the
+			// timing results aren't occupancy-starved artifacts.
+			if p.NumRegs > 42 {
+				t.Errorf("uses %d registers; occupancy would collapse", p.NumRegs)
+			}
+
+			// Every branch target and RPC in range; backward branches form
+			// loops with a valid reconvergence after them.
+			for pc := 0; pc < p.Len(); pc++ {
+				in := p.At(pc)
+				if in.Op != isa.OpBra {
+					continue
+				}
+				if in.Target < 0 || in.Target >= p.Len() {
+					t.Errorf("pc %d: branch target %d out of range", pc, in.Target)
+				}
+				if in.RPC >= 0 && (in.RPC > p.Len()) {
+					t.Errorf("pc %d: RPC %d out of range", pc, in.RPC)
+				}
+			}
+
+			// The last instruction must be an unguarded exit (the assembler
+			// enforces it; re-check workload sources directly).
+			last := p.At(p.Len() - 1)
+			if last.Op != isa.OpExit || last.Guard.On {
+				t.Errorf("program does not end in an unguarded exit: %v", last)
+			}
+
+			// The static analyses must succeed and be self-consistent.
+			a := asm.Analyze(p)
+			dead := asm.DeadOnWrite(p)
+			if len(a.UniformInst) != p.Len() || len(dead) != p.Len() {
+				t.Fatal("analysis length mismatch")
+			}
+			for pc := 0; pc < p.Len(); pc++ {
+				if a.UniformInst[pc] && a.Divergent[pc] {
+					t.Errorf("pc %d both uniform and divergent", pc)
+				}
+			}
+
+			// The launch must be valid for the Table 1 limits and shared
+			// memory must fit a Fermi SM.
+			if err := inst.Launch.Validate(1536); err != nil {
+				t.Error(err)
+			}
+			if inst.Launch.SharedBytes > 48<<10 {
+				t.Errorf("shared memory %d exceeds 48 KB", inst.Launch.SharedBytes)
+			}
+			// Grids are sized to keep all 15 SMs busy.
+			if ctas := inst.Launch.Grid.Count(); ctas < 15 {
+				t.Errorf("only %d CTAs; SMs would idle", ctas)
+			}
+		})
+	}
+}
+
+// TestWorkloadDeterminism ensures two builds of the same workload produce
+// identical inputs (the PRNG is seeded per workload).
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, abbr := range []string{"BP", "LBM", "MV"} {
+		w, _ := ByAbbr(abbr)
+		a, err := w.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := w.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Launch.Params != b.Launch.Params {
+			t.Errorf("%s: params differ across builds", abbr)
+		}
+		// Compare a slab of initialised device memory.
+		pa := a.Mem.ReadU32(a.Launch.Params[0], 64)
+		pb := b.Mem.ReadU32(b.Launch.Params[0], 64)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Errorf("%s: memory differs at %d", abbr, i)
+				break
+			}
+		}
+	}
+}
+
+// TestScaleGrowsWork verifies the scale knob actually grows the launch.
+func TestScaleGrowsWork(t *testing.T) {
+	for _, abbr := range []string{"BP", "MM", "ST"} {
+		w, _ := ByAbbr(abbr)
+		s1, err := w.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := w.Build(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.Launch.Threads() <= s1.Launch.Threads() {
+			t.Errorf("%s: scale 2 (%d threads) not larger than scale 1 (%d)",
+				abbr, s2.Launch.Threads(), s1.Launch.Threads())
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package workloads provides the 17 benchmark kernels of the paper's
+// evaluation (Table 2): synthetic re-creations of the Rodinia and Parboil
+// workloads, hand-written in .gasm assembly and paired with deterministic
+// input generators. Each kernel is written to reproduce the dynamic
+// properties the paper reports for its namesake — divergence fraction
+// (Fig 1), register value-similarity mix (Fig 8), SFU share, warp occupancy
+// and memory intensity — since those properties are what drive every
+// result in Figures 8–12.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"gscalar/internal/kernel"
+)
+
+// Instance is a ready-to-run kernel launch.
+type Instance struct {
+	Prog   *kernel.Program
+	Launch *kernel.LaunchConfig
+	Mem    *kernel.Memory
+	// Check validates the kernel's output against a host-computed golden
+	// result; nil means the workload has no cheap independent check.
+	Check func() error
+}
+
+// Workload is one benchmark of Table 2.
+type Workload struct {
+	Abbr  string // the paper's abbreviation (BT, BP, …)
+	Name  string // benchmark name (b+tree, backprop, …)
+	Suite string // "Rodinia" or "Parboil"
+	Desc  string
+	// Build constructs an instance. scale >= 1 grows the grid (tests use 1;
+	// benches can use more).
+	Build func(scale int) (*Instance, error)
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Abbr]; dup {
+		panic("workloads: duplicate " + w.Abbr)
+	}
+	registry[w.Abbr] = w
+}
+
+// ByAbbr looks a workload up by its Table 2 abbreviation.
+func ByAbbr(abbr string) (Workload, bool) {
+	w, ok := registry[abbr]
+	return w, ok
+}
+
+// All returns every workload in Table 2 order (Rodinia first, then
+// Parboil, alphabetical within each suite, matching the paper's table).
+func All() []Workload {
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite > out[j].Suite // Rodinia before Parboil
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Abbrs returns the abbreviations in All() order.
+func Abbrs() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Abbr
+	}
+	return out
+}
+
+// rng is a small deterministic xorshift PRNG for input generation
+// (math/rand would work too; this keeps inputs stable across Go versions).
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed*2685821657736338717 + 1} }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// uint32n returns a value in [0, n).
+func (r *rng) uint32n(n uint32) uint32 {
+	if n == 0 {
+		return 0
+	}
+	return uint32(r.next() % uint64(n))
+}
+
+// float01 returns a float32 in [0, 1).
+func (r *rng) float01() float32 {
+	return float32(r.next()%(1<<24)) / (1 << 24)
+}
+
+// floatRange returns a float32 in [lo, hi).
+func (r *rng) floatRange(lo, hi float32) float32 {
+	return lo + (hi-lo)*r.float01()
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

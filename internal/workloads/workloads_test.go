@@ -1,0 +1,57 @@
+package workloads
+
+import (
+	"testing"
+
+	"gscalar/internal/warp"
+)
+
+// TestAllWorkloadsFunctional runs every registered workload through the
+// functional golden-model interpreter and validates its output against the
+// host-computed result.
+func TestAllWorkloadsFunctional(t *testing.T) {
+	ws := All()
+	if len(ws) == 0 {
+		t.Fatal("no workloads registered")
+	}
+	for _, w := range ws {
+		t.Run(w.Abbr, func(t *testing.T) {
+			inst, err := w.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := warp.FuncRun(inst.Prog, inst.Launch, inst.Mem, 32, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.WarpInsts == 0 {
+				t.Fatal("no instructions executed")
+			}
+			if inst.Check != nil {
+				if err := inst.Check(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			t.Logf("%s: %d warp-insts, %d thread-insts, %.1f%% divergent",
+				w.Abbr, res.WarpInsts, res.ThreadInsts,
+				100*float64(res.DivergentInsts)/float64(res.WarpInsts))
+		})
+	}
+}
+
+// TestWorkloadRegistry checks Table 2 completeness once all benchmarks are
+// registered.
+func TestWorkloadRegistry(t *testing.T) {
+	want := []string{"BT", "BP", "HW", "HS", "LC", "PF", "SR1", "SR2",
+		"CC", "LBM", "MG", "MQ", "SAD", "MM", "MV", "ST", "ACF"}
+	missing := 0
+	for _, abbr := range want {
+		if _, ok := ByAbbr(abbr); !ok {
+			t.Logf("missing workload %s", abbr)
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d of %d Table 2 workloads missing", missing, len(want))
+	}
+}

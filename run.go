@@ -1,0 +1,57 @@
+package gscalar
+
+import (
+	"gscalar/internal/gpu"
+	"gscalar/internal/workloads"
+)
+
+// gpuRun executes a built workload instance on the timed simulator.
+func gpuRun(cfg Config, arch Arch, inst *workloads.Instance) (Result, error) {
+	r, err := gpu.Run(cfg.toGPU(), arch.model(), inst.Prog, inst.Launch, inst.Mem)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFrom(r), nil
+}
+
+// WarpSizeSweepResult is one point of the Figure 10 warp-size sweep.
+type WarpSizeSweepResult struct {
+	WarpSize  int
+	HalfFrac  float64 // instructions eligible only at the 16-thread granularity
+	TotalFrac float64 // all scalar-eligible instructions
+}
+
+// RunWarpSizeSweep reproduces Figure 10: the fraction of instructions
+// eligible for 16-thread-granularity ("half-scalar"; "quarter-scalar" at
+// warp size 64) scalar execution, for each warp size. The same workload is
+// rebuilt per point so thread counts stay constant while warps widen.
+func RunWarpSizeSweep(cfg Config, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
+	w, ok := workloads.ByAbbr(abbr)
+	if !ok {
+		return nil, errUnknownWorkload(abbr)
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	out := make([]WarpSizeSweepResult, 0, len(warpSizes))
+	for _, ws := range warpSizes {
+		inst, err := w.Build(scale)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.WarpSize = ws
+		// Keep resident-thread capacity constant as warps widen.
+		c.MaxWarpsPerSM = DefaultConfig().MaxWarpsPerSM * DefaultConfig().WarpSize / ws
+		r, err := gpuRun(c, GScalar, inst)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WarpSizeSweepResult{
+			WarpSize:  ws,
+			HalfFrac:  r.Eligibility.Half,
+			TotalFrac: r.Eligibility.Total(),
+		})
+	}
+	return out, nil
+}

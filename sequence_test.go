@@ -1,0 +1,81 @@
+package gscalar
+
+import "testing"
+
+// TestRunSequence runs a producer kernel followed by a dependent consumer
+// kernel over shared memory — the shape of real multi-kernel applications
+// (e.g. srad's two passes).
+func TestRunSequence(t *testing.T) {
+	producer, err := Assemble(`
+.kernel producer
+	mov  r1, %tid.x
+	imad r2, %ctaid.x, %ntid.x, r1
+	imul r3, r2, 3
+	shl  r4, r2, 2
+	iadd r5, $0, r4
+	stg  [r5], r3
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumer, err := Assemble(`
+.kernel consumer
+	mov  r1, %tid.x
+	imad r2, %ctaid.x, %ntid.x, r1
+	shl  r3, r2, 2
+	iadd r4, $0, r3
+	ldg  r5, [r4]
+	iadd r5, r5, 100
+	iadd r6, $1, r3
+	stg  [r6], r5
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 1024
+	mem := NewMemory()
+	mid := mem.Alloc(n * 4)
+	out := mem.Alloc(n * 4)
+	seq := []KernelLaunch{
+		{producer, Launch{GridX: n / 128, BlockX: 128, Params: []uint32{mid}}},
+		{consumer, Launch{GridX: n / 128, BlockX: 128, Params: []uint32{mid, out}}},
+	}
+	cfg := DefaultConfig()
+	cfg.NumSMs = 2
+	res, err := RunSequence(cfg, GScalar, mem, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range mem.ReadU32(out, n) {
+		if v != uint32(i*3+100) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3+100)
+		}
+	}
+
+	// The sequence totals must exceed either launch alone.
+	soloMem := NewMemory()
+	soloMid := soloMem.Alloc(n * 4)
+	solo, err := Run(cfg, GScalar, producer,
+		Launch{GridX: n / 128, BlockX: 128, Params: []uint32{soloMid}}, soloMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= solo.Cycles {
+		t.Errorf("sequence cycles %d not greater than solo %d", res.Cycles, solo.Cycles)
+	}
+	if res.WarpInsts != uint64((n/32)*(7+9)) { // producer 7 + consumer 9 instructions per warp
+		t.Errorf("sequence warp insts = %d, want %d", res.WarpInsts, (n/32)*(7+9))
+	}
+	if res.EnergyJ <= solo.EnergyJ {
+		t.Errorf("sequence energy %v not greater than solo %v", res.EnergyJ, solo.EnergyJ)
+	}
+}
+
+func TestRunSequenceEmpty(t *testing.T) {
+	if _, err := RunSequence(DefaultConfig(), Baseline, NewMemory(), nil); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+}
