@@ -1,0 +1,27 @@
+# Verification targets. `make check` is the tier-1 gate (see ROADMAP.md):
+# build + full tests, vet, and a race-detector pass over the packages that
+# run goroutines (the phased parallel simulation loop and the experiment
+# prewarm fan-out). The race pass uses -short because the detector slows
+# simulation ~10x; the short subset still drives the full phased loop.
+
+GO ?= go
+
+.PHONY: check build test vet race bench-parallel
+
+check: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short . ./internal/gpu ./internal/experiments
+
+# Regenerates BENCH_parallel.json (serial vs phased-loop speedup snapshot).
+bench-parallel:
+	$(GO) test -bench ParallelSpeedup -benchtime 1x -run '^$$' .

@@ -14,10 +14,15 @@ package gscalar_test
 // paper-vs-measured comparison for every target below.
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"gscalar"
 	"gscalar/internal/experiments"
@@ -269,6 +274,83 @@ func BenchmarkAblationScalarBank(b *testing.B) {
 		if i == 0 {
 			fmt.Println(experiments.FormatScalarBank(rows))
 		}
+	}
+}
+
+// parallelSnapshot is the BENCH_parallel.json schema: one measured
+// serial-vs-phased comparison, recorded so speedup regressions are visible
+// in review. host_cores matters — on a single-core host the phased loop
+// cannot beat the serial one and speedup ~1 is expected.
+type parallelSnapshot struct {
+	Workload         string  `json:"workload"`
+	Arch             string  `json:"arch"`
+	Scale            int     `json:"scale"`
+	HostCores        int     `json:"host_cores"`
+	Workers          int     `json:"workers"`
+	Cycles           uint64  `json:"cycles"`
+	SerialSeconds    float64 `json:"serial_seconds"`
+	ParallelSeconds  float64 `json:"parallel_seconds"`
+	Speedup          float64 `json:"speedup"`
+	IdenticalResults bool    `json:"identical_results"`
+}
+
+// BenchmarkParallelSpeedup compares the legacy serial simulation loop
+// (Workers=0) against the phased parallel loop with one compute worker per
+// host core, checks worker-count determinism on the way, and writes the
+// measurement to BENCH_parallel.json:
+//
+//	go test -bench ParallelSpeedup -benchtime 1x -run '^$'
+func BenchmarkParallelSpeedup(b *testing.B) {
+	const abbr = "HS"
+	runOnce := func(workers int) (gscalar.Result, float64) {
+		cfg := gscalar.DefaultConfig()
+		cfg.Workers = workers
+		t0 := time.Now()
+		res, err := gscalar.RunWorkload(cfg, gscalar.GScalar, abbr, *benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, time.Since(t0).Seconds()
+	}
+
+	serial, serialSec := runOnce(0)
+	one, _ := runOnce(1) // phased reference for the determinism check
+	b.ResetTimer()
+	var par gscalar.Result
+	var parSec float64
+	for i := 0; i < b.N; i++ {
+		par, parSec = runOnce(-1)
+	}
+	b.StopTimer()
+
+	if !reflect.DeepEqual(one, par) {
+		b.Fatalf("phased loop nondeterministic: workers=1 and workers=-1 differ")
+	}
+	snap := parallelSnapshot{
+		Workload:         abbr,
+		Arch:             gscalar.GScalar.String(),
+		Scale:            *benchScale,
+		HostCores:        runtime.GOMAXPROCS(0),
+		Workers:          runtime.GOMAXPROCS(0),
+		Cycles:           par.Cycles,
+		SerialSeconds:    serialSec,
+		ParallelSeconds:  parSec,
+		Speedup:          serialSec / parSec,
+		IdenticalResults: true,
+	}
+	b.ReportMetric(snap.Speedup, "speedup")
+	b.ReportMetric(float64(snap.HostCores), "cores")
+	if serial.Cycles != par.Cycles {
+		// Legacy and phased loops may only differ in same-cycle store
+		// visibility; a cycle-count gap on a real workload would be a bug.
+		b.Logf("note: serial cycles %d vs phased %d", serial.Cycles, par.Cycles)
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

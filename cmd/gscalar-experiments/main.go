@@ -4,7 +4,7 @@
 // Usage:
 //
 //	gscalar-experiments [-exp all|fig1|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|moves]
-//	                    [-scale N] [-sms N] [-bench BP,LBM,...]
+//	                    [-scale N] [-sms N] [-bench BP,LBM,...] [-parallel N] [-workers N]
 package main
 
 import (
@@ -24,19 +24,34 @@ func main() {
 	sms := flag.Int("sms", 0, "override number of SMs (0 = Table 1 value)")
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	parallel := flag.Int("parallel", 1, "simulate up to N (arch, workload) points concurrently; output is identical to -parallel 1")
+	workers := flag.Int("workers", 0, "phased-loop compute workers per simulation (0 = legacy serial loop, -1 = one per host core)")
 	flag.Parse()
 
 	cfg := gscalar.DefaultConfig()
 	if *sms > 0 {
 		cfg.NumSMs = *sms
 	}
+	cfg.Workers = *workers
 	opts := experiments.Options{Config: cfg, Scale: *scale}
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
 	}
 	suite := experiments.NewSuite(opts)
+	name := strings.ToLower(*exp)
 
-	if err := run(suite, cfg, strings.ToLower(*exp), *csvDir); err != nil {
+	// With -parallel N the suite's simulation points run concurrently up
+	// front, filling the memoization cache; the figures below then render
+	// serially from the cache, so the printed output is byte-identical to a
+	// serial run.
+	if *parallel > 1 {
+		if err := suite.Prewarm(suite.Points([]string{name}), *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "gscalar-experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	if err := run(suite, cfg, name, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "gscalar-experiments:", err)
 		os.Exit(1)
 	}

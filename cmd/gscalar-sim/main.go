@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gscalar-sim -bench BP [-arch gscalar] [-scale 1] [-sms 15] [-list]
+//	gscalar-sim -bench BP [-arch gscalar] [-scale 1] [-sms 15] [-workers N] [-list]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	breakdown := flag.Bool("breakdown", false, "print the per-component power breakdown")
 	all := flag.Bool("all", false, "run every Table 2 benchmark and print a summary table")
+	workers := flag.Int("workers", 0, "phased-loop compute workers (0 = legacy serial loop, -1 = one per host core)")
 	flag.Parse()
 
 	if *list {
@@ -48,7 +49,7 @@ func main() {
 		fatal(fmt.Errorf("unknown architecture %q", *archName))
 	}
 	if *all {
-		runAll(arch, *scale, *sms)
+		runAll(arch, *scale, *sms, *workers)
 		return
 	}
 	if *bench == "" {
@@ -58,6 +59,7 @@ func main() {
 	if *sms > 0 {
 		cfg.NumSMs = *sms
 	}
+	cfg.Workers = *workers
 	res, err := gscalar.RunWorkload(cfg, arch, *bench, *scale)
 	if err != nil {
 		fatal(err)
@@ -103,11 +105,12 @@ func main() {
 }
 
 // runAll prints a one-line summary per benchmark.
-func runAll(arch gscalar.Arch, scale, sms int) {
+func runAll(arch gscalar.Arch, scale, sms, workers int) {
 	cfg := gscalar.DefaultConfig()
 	if sms > 0 {
 		cfg.NumSMs = sms
 	}
+	cfg.Workers = workers
 	fmt.Printf("%-4s %8s %10s %7s %8s %9s %8s %7s\n",
 		"sim", "cycles", "warpinsts", "IPC", "power(W)", "IPC/W", "eligible", "diverg")
 	for _, abbr := range gscalar.Workloads() {

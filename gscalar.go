@@ -108,6 +108,13 @@ type Config struct {
 	L2Bytes         int     // shared L2 (Table 1: 768 KB)
 	MemChannels     int     // DRAM channels (Table 1: 6)
 	MaxCycles       uint64  // abort bound; 0 = default
+	// Workers selects the simulation loop. 0 (default) is the legacy
+	// serial loop. Any other value runs the deterministic phased loop with
+	// that many host compute workers (negative = one per host core); every
+	// non-zero value produces bit-identical results, so Workers only trades
+	// wall-clock time. See docs/architecture.md, "Parallel execution
+	// model".
+	Workers int
 }
 
 // DefaultConfig returns the Table 1 configuration.
@@ -136,6 +143,7 @@ func (c Config) toGPU() gpu.Config {
 	g.CoreClockHz = c.CoreClockHz
 	g.L2Bytes = c.L2Bytes
 	g.MaxCycles = c.MaxCycles
+	g.Workers = c.Workers
 	g.MemTiming.NumChannels = c.MemChannels
 	g.SM.WarpSize = c.WarpSize
 	g.SM.Schedulers = c.SchedulersPerSM

@@ -13,8 +13,14 @@ import (
 )
 
 // runCustomArch runs one workload under an arbitrary SM-level architecture
-// (for ablations the public Arch enum does not expose).
+// (for ablations the public Arch enum does not expose). Results are
+// memoized like runner.run's, keyed by the full sm.Arch value — all of its
+// fields are plain values, so the rendering is a faithful content hash.
 func (s *Suite) runCustomArch(abbr string, arch sm.Arch) (gpu.Result, error) {
+	key := fmt.Sprintf("%s|custom:%+v/%s", configKey(s.r.o.Config, s.r.o.Scale), arch, abbr)
+	if v, ok := s.r.cache.get(key); ok {
+		return v.(gpu.Result), nil
+	}
 	w, ok := workloads.ByAbbr(abbr)
 	if !ok {
 		return gpu.Result{}, errUnknown(abbr)
@@ -27,7 +33,13 @@ func (s *Suite) runCustomArch(abbr string, arch sm.Arch) (gpu.Result, error) {
 	pub := s.r.o.Config
 	cfg.NumSMs = pub.NumSMs
 	cfg.CoreClockHz = pub.CoreClockHz
-	return gpu.Run(cfg, arch, inst.Prog, inst.Launch, inst.Mem)
+	cfg.Workers = pub.Workers
+	res, err := gpu.Run(cfg, arch, inst.Prog, inst.Launch, inst.Mem)
+	if err != nil {
+		return res, err
+	}
+	s.r.cache.put(key, res)
+	return res, nil
 }
 
 type unknownErr string

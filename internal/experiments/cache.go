@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"gscalar"
+)
+
+// Cache memoizes simulation results keyed by (chip config, scale,
+// architecture, workload). The evaluation's figures overlap heavily — Fig
+// 1/8/9 share the G-Scalar runs, Fig 11/12 share the baselines, and the
+// benchmark harness builds a fresh Suite per figure — so one process-wide
+// cache lets every consumer reuse a point that has been simulated once.
+// Any change to the chip configuration (or scale) alters the key, so stale
+// results can never be served. Safe for concurrent use.
+type Cache struct {
+	mu           sync.Mutex
+	m            map[string]any
+	hits, misses uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]any)} }
+
+// sharedCache is the process-wide default every Suite uses.
+var sharedCache = NewCache()
+
+// configKey renders the full public chip configuration plus scale into the
+// cache key prefix. All Config fields are value types, so the rendering is
+// deterministic and any field change yields a distinct key. Workers is
+// normalised to 0 (legacy serial loop) or 1 (phased loop): every non-zero
+// worker count is bit-identical by construction, so the cache shares those
+// entries, while the two loop algorithms — which may differ in the last
+// bits of energy sums — stay separate.
+func configKey(cfg gscalar.Config, scale int) string {
+	if cfg.Workers != 0 {
+		cfg.Workers = 1
+	}
+	return fmt.Sprintf("%+v|scale=%d", cfg, scale)
+}
+
+// get returns the cached value for key, counting the hit or miss.
+func (c *Cache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// put stores the value for key.
+func (c *Cache) put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+// Counters returns the accumulated hit/miss counts.
+func (c *Cache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of memoized results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"gscalar"
+)
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.put("a", 1)
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("get(a) = %v, %v", v, ok)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("get(b) hit")
+	}
+	hits, misses := c.Counters()
+	if hits != 1 || misses != 2 {
+		t.Errorf("counters = %d hits, %d misses; want 1, 2", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+// TestConfigKeyInvalidation checks that every semantically meaningful
+// configuration change yields a distinct key — a changed config can never
+// be served a stale result — while the worker count (which never changes
+// results within one loop algorithm) is normalised so those entries are
+// shared.
+func TestConfigKeyInvalidation(t *testing.T) {
+	base := configKey(gscalar.DefaultConfig(), 1)
+
+	mutations := map[string]func(*gscalar.Config){
+		"NumSMs":      func(c *gscalar.Config) { c.NumSMs = 7 },
+		"L1Bytes":     func(c *gscalar.Config) { c.L1Bytes = 32 << 10 },
+		"L2Bytes":     func(c *gscalar.Config) { c.L2Bytes = 256 << 10 },
+		"MemChannels": func(c *gscalar.Config) { c.MemChannels = 2 },
+		"WarpSize":    func(c *gscalar.Config) { c.WarpSize = 64 },
+		"MaxCycles":   func(c *gscalar.Config) { c.MaxCycles = 5 },
+	}
+	for name, mutate := range mutations {
+		cfg := gscalar.DefaultConfig()
+		mutate(&cfg)
+		if k := configKey(cfg, 1); k == base {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+	}
+	if k := configKey(gscalar.DefaultConfig(), 2); k == base {
+		t.Error("changing scale did not change the cache key")
+	}
+
+	// Workers normalisation: 0 (legacy loop) is its own key; every
+	// non-zero count maps to one shared key (bit-identical results).
+	phased := func(n int) string {
+		cfg := gscalar.DefaultConfig()
+		cfg.Workers = n
+		return configKey(cfg, 1)
+	}
+	if phased(1) != phased(8) || phased(1) != phased(-1) {
+		t.Error("phased worker counts should share one cache key")
+	}
+	if phased(1) == base {
+		t.Error("phased and legacy loops must not share a cache key")
+	}
+	if !strings.Contains(base, "scale=1") {
+		t.Errorf("key %q lacks the scale component", base)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := string(rune('a' + (g+i)%4))
+				if _, ok := c.get(key); !ok {
+					c.put(key, g)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 4 {
+		t.Errorf("len = %d, want 4", c.Len())
+	}
+	hits, misses := c.Counters()
+	if hits+misses != 800 {
+		t.Errorf("hits+misses = %d, want 800", hits+misses)
+	}
+}
+
+// TestPrewarmMatchesSerial runs the same suite serially and with a
+// parallel prewarm and requires identical figure rows — the ordering
+// guarantee behind the -parallel flag.
+func TestPrewarmMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg := gscalar.DefaultConfig()
+	cfg.NumSMs = 2
+	opts := Options{Config: cfg, Workloads: []string{"HS", "MQ", "SAD"}}
+
+	serial := NewSuite(opts)
+	serial.r.cache = NewCache()
+	want, err := serial.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := NewSuite(opts)
+	par.r.cache = NewCache()
+	points := par.Points([]string{"fig11"})
+	if len(points) != 4*3 {
+		t.Fatalf("fig11 points = %d, want 12", len(points))
+	}
+	if err := par.Prewarm(points, 4); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore, misses := par.r.cache.Counters()
+	if misses != uint64(len(points)) {
+		t.Errorf("prewarm misses = %d, want %d", misses, len(points))
+	}
+	got, err := par.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, missesAfter := par.r.cache.Counters(); missesAfter != misses {
+		t.Errorf("Fig11 after prewarm missed the cache (%d -> %d misses)", misses, missesAfter)
+	} else if hits == hitsBefore {
+		t.Error("Fig11 after prewarm recorded no cache hits")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d differs:\nserial:  %+v\nparallel: %+v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestPrewarmPropagatesError(t *testing.T) {
+	s := NewSuite(Options{Workloads: []string{"NOPE"}})
+	s.r.cache = NewCache()
+	if err := s.Prewarm([]Point{{gscalar.GScalar, "NOPE"}}, 4); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestPointsDeduplicates(t *testing.T) {
+	s := NewSuite(Options{Workloads: []string{"HS", "MQ"}})
+	// fig1 and fig9 both need only the G-Scalar runs; the union must not
+	// repeat them.
+	pts := s.Points([]string{"fig1", "fig9"})
+	if len(pts) != 2 {
+		t.Fatalf("points = %v, want one per workload", pts)
+	}
+	seen := map[Point]bool{}
+	for _, p := range s.Points([]string{"all"}) {
+		if seen[p] {
+			t.Fatalf("duplicate point %+v", p)
+		}
+		seen[p] = true
+	}
+}

@@ -10,7 +10,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"gscalar"
 	"gscalar/internal/stats"
@@ -37,34 +36,31 @@ func (o Options) defaults() Options {
 	return o
 }
 
-// runner caches simulation results within one sweep so figures sharing runs
-// (Fig 1/8/9 share the G-Scalar run; Fig 11/12 share baselines) do not
-// re-simulate. It is safe for concurrent use.
+// runner memoizes simulation results so figures sharing runs (Fig 1/8/9
+// share the G-Scalar run; Fig 11/12 share baselines) do not re-simulate.
+// Results live in a cache keyed by (config, scale, arch, workload) — by
+// default the process-wide sharedCache, so independent Suites over the same
+// configuration also reuse each other's runs. It is safe for concurrent
+// use, which is what the Prewarm fan-out relies on.
 type runner struct {
-	o  Options
-	mu sync.Mutex
-	m  map[string]gscalar.Result
+	o     Options
+	cache *Cache
 }
 
 func newRunner(o Options) *runner {
-	return &runner{o: o.defaults(), m: make(map[string]gscalar.Result)}
+	return &runner{o: o.defaults(), cache: sharedCache}
 }
 
 func (r *runner) run(arch gscalar.Arch, abbr string) (gscalar.Result, error) {
-	key := fmt.Sprintf("%s/%s", arch, abbr)
-	r.mu.Lock()
-	if res, ok := r.m[key]; ok {
-		r.mu.Unlock()
-		return res, nil
+	key := fmt.Sprintf("%s|%s/%s", configKey(r.o.Config, r.o.Scale), arch, abbr)
+	if v, ok := r.cache.get(key); ok {
+		return v.(gscalar.Result), nil
 	}
-	r.mu.Unlock()
 	res, err := gscalar.RunWorkload(r.o.Config, arch, abbr, r.o.Scale)
 	if err != nil {
 		return res, fmt.Errorf("%s on %s: %w", abbr, arch, err)
 	}
-	r.mu.Lock()
-	r.m[key] = res
-	r.mu.Unlock()
+	r.cache.put(key, res)
 	return res, nil
 }
 

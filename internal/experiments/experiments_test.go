@@ -50,20 +50,25 @@ func TestSuiteFig9CachesRuns(t *testing.T) {
 		t.Skip("simulation")
 	}
 	s := smallSuite()
+	s.r.cache = NewCache() // private cache so other tests cannot pre-warm it
 	if _, err := s.Fig9(); err != nil {
 		t.Fatal(err)
 	}
-	// The cached runner must serve Fig1 from the same G-Scalar runs: the
-	// second call is nearly free; assert the cache is populated.
-	if len(s.r.m) < 3 {
-		t.Fatalf("runner cache has %d entries", len(s.r.m))
+	// The memoizing runner must serve Fig1 from the same G-Scalar runs: the
+	// second call is pure cache hits and simulates nothing new.
+	if s.r.cache.Len() < 3 {
+		t.Fatalf("runner cache has %d entries", s.r.cache.Len())
 	}
-	before := len(s.r.m)
+	before := s.r.cache.Len()
+	_, missesBefore := s.r.cache.Counters()
 	if _, err := s.Fig1(); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.r.m) != before {
-		t.Errorf("Fig1 re-simulated despite cache (%d -> %d)", before, len(s.r.m))
+	if s.r.cache.Len() != before {
+		t.Errorf("Fig1 re-simulated despite cache (%d -> %d)", before, s.r.cache.Len())
+	}
+	if _, misses := s.r.cache.Counters(); misses != missesBefore {
+		t.Errorf("Fig1 missed the cache (%d -> %d misses)", missesBefore, misses)
 	}
 }
 

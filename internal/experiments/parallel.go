@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"sort"
+	"sync"
+
+	"gscalar"
+)
+
+// Point identifies one (architecture, workload) simulation a figure needs.
+type Point struct {
+	Arch gscalar.Arch
+	Abbr string
+}
+
+// expArchs maps each experiment name to the public architectures its figure
+// simulates through runner.run. Experiments absent from the map either run
+// no full-chip points (the static tables), sweep non-default configurations
+// (fig10, width, sched), or use custom SM overlays (parts of half and
+// scalarbank) — those still simulate what Prewarm cannot cover, but every
+// cacheable point below is shared with them.
+var expArchs = map[string][]gscalar.Arch{
+	"fig1":       {gscalar.GScalar},
+	"fig8":       {gscalar.GScalar},
+	"fig9":       {gscalar.GScalar},
+	"fig11":      {gscalar.Baseline, gscalar.ALUScalar, gscalar.GScalarNoDiv, gscalar.GScalar},
+	"fig12":      {gscalar.Baseline, gscalar.ALUScalar, gscalar.WarpedCompression, gscalar.RVCOnly},
+	"moves":      {gscalar.GScalar},
+	"compiler":   {gscalar.GScalar},
+	"half":       {gscalar.Baseline, gscalar.GScalar},
+	"scalarbank": {gscalar.Baseline},
+}
+
+// Points returns the deduplicated (architecture, workload) points the named
+// experiments will simulate, in a deterministic order (architecture in
+// presentation order, then the suite's workload order). The name "all"
+// expands to every experiment in the map.
+func (s *Suite) Points(exps []string) []Point {
+	archSet := map[gscalar.Arch]bool{}
+	for _, e := range exps {
+		if e == "all" {
+			for _, archs := range expArchs {
+				for _, a := range archs {
+					archSet[a] = true
+				}
+			}
+			continue
+		}
+		for _, a := range expArchs[e] {
+			archSet[a] = true
+		}
+	}
+	archs := make([]gscalar.Arch, 0, len(archSet))
+	for a := range archSet {
+		archs = append(archs, a)
+	}
+	sort.Slice(archs, func(i, j int) bool { return archs[i] < archs[j] })
+
+	var pts []Point
+	for _, a := range archs {
+		for _, abbr := range s.r.o.Workloads {
+			pts = append(pts, Point{Arch: a, Abbr: abbr})
+		}
+	}
+	return pts
+}
+
+// Prewarm simulates the given points concurrently, at most par at a time,
+// filling the suite's result cache. Figures rendered afterwards are served
+// entirely from the cache, so their output is byte-identical to a serial
+// run — Prewarm only changes when the simulations happen, never what they
+// produce (the phased simulation loop is deterministic, and each point is
+// independent). With par <= 1 the points run serially in order.
+//
+// All points are attempted; the error returned is the first failure in
+// point order, independent of completion timing.
+func (s *Suite) Prewarm(points []Point, par int) error {
+	if par <= 1 || len(points) <= 1 {
+		for _, p := range points {
+			if _, err := s.r.run(p.Arch, p.Abbr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if par > len(points) {
+		par = len(points)
+	}
+	errs := make([]error, len(points))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				_, errs[i] = s.r.run(points[i].Arch, points[i].Abbr)
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

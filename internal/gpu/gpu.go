@@ -24,6 +24,14 @@ type Config struct {
 	Energies    power.Energies
 	// MaxCycles aborts runaway simulations (0 = a large default).
 	MaxCycles uint64
+	// Workers selects the chip-loop execution mode. 0 (the default) runs
+	// the legacy serial loop, preserved bit-for-bit. Any other value runs
+	// the deterministic phased loop — per-cycle parallel SM compute, then a
+	// serial commit of shared-state accesses in ascending SM-id order —
+	// with that many compute workers (negative = one per host core). All
+	// Workers != 0 values produce bit-identical results; the worker count
+	// only changes wall-clock time.
+	Workers int
 }
 
 // DefaultConfig returns the GTX-480-like configuration of Table 1.
@@ -78,45 +86,78 @@ type rawResult struct {
 	Stats  stats.Sim
 }
 
-// runWithMeter is the shared simulation loop: it deposits energy into the
-// caller's meter and returns cycle/statistics totals.
+// ctaDispatcher assigns pending CTAs to SMs with capacity, round-robin from
+// a rotating start index: each assignment resumes the scan at the SM after
+// the one just fed, so freed capacity is shared fairly across the chip
+// instead of favouring low-numbered SMs. The rotation depends only on the
+// assignment history, making placement deterministic for any worker count.
+type ctaDispatcher struct {
+	next  int // next CTA linear id to place
+	total int
+	start int // SM index to begin the next scan at
+}
+
+// dispatch places as many pending CTAs as currently fit.
+func (d *ctaDispatcher) dispatch(sms []*sm.SM) {
+	n := len(sms)
+	for d.next < d.total {
+		assigned := false
+		for i := 0; i < n; i++ {
+			idx := (d.start + i) % n
+			if sms[idx].CanTakeCTA() {
+				sms[idx].LaunchCTA(d.next)
+				d.next++
+				d.start = (idx + 1) % n
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			return
+		}
+	}
+}
+
+// done reports whether every CTA has been placed.
+func (d *ctaDispatcher) done() bool { return d.next >= d.total }
+
+// effectiveMaxCycles resolves the runaway-simulation bound.
+func (cfg Config) effectiveMaxCycles() uint64 {
+	if cfg.MaxCycles == 0 {
+		return 200_000_000
+	}
+	return cfg.MaxCycles
+}
+
+// runWithMeter is the shared simulation entry: it deposits energy into the
+// caller's meter and returns cycle/statistics totals. Config.Workers picks
+// the loop: 0 is the legacy serial loop; anything else is the phased loop,
+// whose results are bit-identical for every worker count.
 func runWithMeter(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
 	if err := lc.Validate(cfg.SM.MaxWarps * cfg.SM.WarpSize); err != nil {
 		return rawResult{}, err
 	}
-	maxCycles := cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = 200_000_000
+	if cfg.Workers != 0 {
+		return runPhased(cfg, arch, prog, lc, gmem, meter)
 	}
+	return runSerial(cfg, arch, prog, lc, gmem, meter)
+}
 
+// runSerial is the legacy single-goroutine loop: SMs step in ascending id
+// order each cycle, touching the shared memory system and meter directly.
+func runSerial(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
+	maxCycles := cfg.effectiveMaxCycles()
 	msys := mem.NewSystem(cfg.MemTiming, cfg.L2Bytes)
 	sms := make([]*sm.SM, cfg.NumSMs)
 	for i := range sms {
 		sms[i] = sm.New(i, cfg.SM, arch, cfg.Energies, prog, lc, gmem, msys, meter)
 	}
 
-	nextCTA := 0
-	totalCTAs := lc.Grid.Count()
+	disp := ctaDispatcher{total: lc.Grid.Count()}
 	var cycle uint64
 
 	for {
-		// Dispatch pending CTAs round-robin to SMs with capacity.
-		for nextCTA < totalCTAs {
-			assigned := false
-			for _, s := range sms {
-				if nextCTA >= totalCTAs {
-					break
-				}
-				if s.CanTakeCTA() {
-					s.LaunchCTA(nextCTA)
-					nextCTA++
-					assigned = true
-				}
-			}
-			if !assigned {
-				break
-			}
-		}
+		disp.dispatch(sms)
 
 		busy := false
 		for _, s := range sms {
@@ -129,7 +170,7 @@ func runWithMeter(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.Lau
 			}
 		}
 		cycle++
-		if !busy && nextCTA >= totalCTAs {
+		if !busy && disp.done() {
 			break
 		}
 		if cycle >= maxCycles {
@@ -137,10 +178,15 @@ func runWithMeter(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.Lau
 		}
 	}
 
+	return finishRun(sms, cycle), nil
+}
+
+// finishRun aggregates per-SM statistics in ascending id order.
+func finishRun(sms []*sm.SM, cycle uint64) rawResult {
 	var agg stats.Sim
 	for _, s := range sms {
 		agg.Add(s.Stats())
 	}
 	agg.Cycles = cycle
-	return rawResult{Cycles: cycle, Stats: agg}, nil
+	return rawResult{Cycles: cycle, Stats: agg}
 }

@@ -1,0 +1,164 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gscalar/internal/kernel"
+	"gscalar/internal/mem"
+	"gscalar/internal/power"
+	"gscalar/internal/sm"
+)
+
+// resolveWorkers turns Config.Workers into a concrete compute-worker count
+// for the phased loop, applying the crossover heuristic: launches too small
+// to keep several SMs busy run the same phased algorithm inline on one
+// goroutine, because the per-cycle barrier would cost more than it saves.
+// Only the goroutine count varies here — never the algorithm — so every
+// resolved value produces bit-identical simulation results.
+func resolveWorkers(cfg Config, totalCTAs int) int {
+	w := cfg.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cfg.NumSMs {
+		w = cfg.NumSMs
+	}
+	// Crossover: fewer CTAs than SMs leaves cores idle every cycle, and a
+	// single-SM chip has nothing to overlap.
+	if cfg.NumSMs < 2 || totalCTAs < cfg.NumSMs {
+		return 1
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// smPool runs the compute phase of each cycle across a set of persistent
+// workers. Worker w owns the fixed SM stride w, w+workers, w+2*workers, …,
+// so an SM is only ever stepped by one goroutine and per-SM state needs no
+// locking. The pool is a barrier: cycle() returns only after every SM has
+// finished its compute phase.
+type smPool struct {
+	sms     []*sm.SM
+	workers int
+	start   []chan uint64
+	wg      sync.WaitGroup
+}
+
+func newSMPool(sms []*sm.SM, workers int) *smPool {
+	p := &smPool{sms: sms, workers: workers}
+	p.start = make([]chan uint64, workers)
+	for w := 0; w < workers; w++ {
+		p.start[w] = make(chan uint64, 1)
+		go p.run(w)
+	}
+	return p
+}
+
+func (p *smPool) run(w int) {
+	for cycle := range p.start[w] {
+		for i := w; i < len(p.sms); i += p.workers {
+			p.sms[i].Cycle(cycle)
+		}
+		p.wg.Done()
+	}
+}
+
+// cycle steps every SM's compute phase for the given cycle and waits for
+// all of them. The Wait establishes the happens-before edge that lets the
+// caller read SM state and run the serial commit phase race-free.
+func (p *smPool) cycle(cycle uint64) {
+	p.wg.Add(p.workers)
+	for _, ch := range p.start {
+		ch <- cycle
+	}
+	p.wg.Wait()
+}
+
+// close releases the worker goroutines.
+func (p *smPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+// runPhased is the deterministic parallel loop. Each cycle splits in two:
+//
+//  1. Compute (parallel): every SM advances one cycle touching only its own
+//     state — global-memory stores land in a per-SM buffer and L2/DRAM
+//     transactions are queued, not sent. SMs also deposit energy into
+//     private meters and keep private statistics, so the hot loop shares
+//     nothing mutable.
+//  2. Commit (serial, ascending SM id): each SM drains its queued
+//     transactions into the shared L2/DRAM model and flushes its buffered
+//     stores into device memory.
+//
+// Because the commit order is fixed and the compute phase reads only
+// state frozen at the last commit, the simulated result is a pure function
+// of (config, program, launch, memory image) — the worker count cannot
+// change a single bit of it.
+func runPhased(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
+	maxCycles := cfg.effectiveMaxCycles()
+	msys := mem.NewSystem(cfg.MemTiming, cfg.L2Bytes)
+	sms := make([]*sm.SM, cfg.NumSMs)
+	meters := make([]*power.Meter, cfg.NumSMs)
+	for i := range sms {
+		meters[i] = new(power.Meter)
+		sms[i] = sm.New(i, cfg.SM, arch, cfg.Energies, prog, lc, gmem, msys, meters[i])
+		sms[i].EnablePhased()
+	}
+	// Merge the per-SM meters in ascending id order on every exit path so
+	// launch sequences keep accumulating energy across launches.
+	defer func() {
+		for _, pm := range meters {
+			meter.Merge(pm)
+		}
+	}()
+
+	workers := resolveWorkers(cfg, lc.Grid.Count())
+	var pool *smPool
+	if workers > 1 {
+		pool = newSMPool(sms, workers)
+		defer pool.close()
+	}
+
+	disp := ctaDispatcher{total: lc.Grid.Count()}
+	var cycle uint64
+
+	for {
+		disp.dispatch(sms)
+
+		// Compute phase.
+		if pool != nil {
+			pool.cycle(cycle)
+		} else {
+			for _, s := range sms {
+				s.Cycle(cycle)
+			}
+		}
+
+		// Commit phase: fixed ascending order over all shared state.
+		busy := false
+		for _, s := range sms {
+			s.CommitShared()
+			if s.Err() != nil {
+				return rawResult{}, fmt.Errorf("gpu: cycle %d: %w", cycle, s.Err())
+			}
+			if s.Busy() {
+				busy = true
+			}
+		}
+		cycle++
+		if !busy && disp.done() {
+			break
+		}
+		if cycle >= maxCycles {
+			return rawResult{}, fmt.Errorf("gpu: exceeded %d cycles (deadlock or runaway kernel)", maxCycles)
+		}
+	}
+
+	return finishRun(sms, cycle), nil
+}

@@ -88,11 +88,22 @@ func (m *Memory) page(addr uint32) *[pageSize]byte {
 	return p
 }
 
+// readPage returns the page containing addr without allocating, or nil when
+// the page has never been written (its bytes are all zero). Loads must use
+// this path: it keeps reads free of map mutation, so any number of SMs may
+// load concurrently while stores are deferred to a serial commit phase.
+func (m *Memory) readPage(addr uint32) *[pageSize]byte {
+	return m.pages[addr/pageSize]
+}
+
 // Load32 reads the 4-byte little-endian word at addr.
 func (m *Memory) Load32(addr uint32) uint32 {
 	off := addr % pageSize
 	if off <= pageSize-4 {
-		p := m.page(addr)
+		p := m.readPage(addr)
+		if p == nil {
+			return 0
+		}
 		return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
 	}
 	var v uint32
@@ -118,8 +129,46 @@ func (m *Memory) Store32(addr uint32, v uint32) {
 	}
 }
 
-func (m *Memory) load8(addr uint32) byte     { return m.page(addr)[addr%pageSize] }
+func (m *Memory) load8(addr uint32) byte {
+	p := m.readPage(addr)
+	if p == nil {
+		return 0
+	}
+	return p[addr%pageSize]
+}
 func (m *Memory) store8(addr uint32, b byte) { m.page(addr)[addr%pageSize] = b }
+
+// StoreBuffer defers global-memory stores for the phased (parallel)
+// simulation mode: during the concurrent compute phase each SM's warps
+// append their stores here instead of writing Memory directly, and the
+// serial commit phase flushes the buffers in ascending SM-id order. All
+// loads of a cycle therefore observe memory as of the end of the previous
+// cycle, independent of worker scheduling, which is what makes the phased
+// mode deterministic for any worker count.
+type StoreBuffer struct {
+	ops []storeOp
+}
+
+type storeOp struct {
+	addr, val uint32
+}
+
+// Store32 records a deferred 4-byte store.
+func (b *StoreBuffer) Store32(addr, val uint32) {
+	b.ops = append(b.ops, storeOp{addr, val})
+}
+
+// Len returns the number of buffered stores.
+func (b *StoreBuffer) Len() int { return len(b.ops) }
+
+// Flush applies the buffered stores to m in insertion order and empties the
+// buffer.
+func (b *StoreBuffer) Flush(m *Memory) {
+	for _, op := range b.ops {
+		m.Store32(op.addr, op.val)
+	}
+	b.ops = b.ops[:0]
+}
 
 // WriteU32 stores the slice of words starting at base.
 func (m *Memory) WriteU32(base uint32, vals []uint32) {

@@ -35,12 +35,17 @@ func Coalesce(addrs []uint32, active uint64) []uint32 {
 }
 
 // Cache is a set-associative cache with true-LRU replacement. It tracks
-// tags only (data is functionally held by kernel.Memory).
+// tags only (data is functionally held by kernel.Memory). The LRU clock is
+// per-cache (not global) so independent caches — e.g. the per-SM L1s of a
+// parallel simulation — never share mutable state; victim selection only
+// ever compares timestamps within one cache, so per-cache clocks produce
+// bit-identical replacement decisions to a global clock.
 type Cache struct {
 	sets     [][]cacheLine
 	assoc    int
 	setShift uint
 	setMask  uint32
+	lruClock uint64
 }
 
 type cacheLine struct {
@@ -73,17 +78,15 @@ func NewCache(capacity, assoc int) *Cache {
 	return c
 }
 
-var lruClock uint64
-
 // Lookup probes for the line containing addr, allocating it on a miss when
 // allocate is set. It reports whether the access hit.
 func (c *Cache) Lookup(addr uint32, allocate bool) bool {
 	set := c.sets[(addr>>c.setShift)&c.setMask]
 	tag := addr >> c.setShift
-	lruClock++
+	c.lruClock++
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
-			set[i].lru = lruClock
+			set[i].lru = c.lruClock
 			return true
 		}
 	}
@@ -98,7 +101,7 @@ func (c *Cache) Lookup(addr uint32, allocate bool) bool {
 				victim = i
 			}
 		}
-		set[victim] = cacheLine{tag: tag, valid: true, lru: lruClock}
+		set[victim] = cacheLine{tag: tag, valid: true, lru: c.lruClock}
 	}
 	return false
 }

@@ -68,6 +68,16 @@ func (m *Meter) AddN(c Component, n int, pJPerUnit float64) {
 	m.pJ[c] += float64(n) * pJPerUnit
 }
 
+// Merge adds every component total of o into m. The phased simulation gives
+// each SM a private meter (so the hot loop is contention-free) and merges
+// them in ascending SM-id order at the end of a launch; a fixed merge order
+// keeps the floating-point sums bit-identical for any worker count.
+func (m *Meter) Merge(o *Meter) {
+	for c := Component(0); c < NumComponents; c++ {
+		m.pJ[c] += o.pJ[c]
+	}
+}
+
 // Energy returns the accumulated energy of component c in picojoules.
 func (m *Meter) Energy(c Component) float64 { return m.pJ[c] }
 

@@ -126,14 +126,16 @@ func (s *SM) dispatch(ci int) {
 		isMove: ce.isMove, moveReg: ce.moveReg, predUniform: ce.predUniform,
 	}
 
+	var deferred []pendingTx
 	if class == isa.ClassMem && !ce.isMove {
-		done, mshrs, ok := s.dispatchMem(ce, occ, extra)
+		done, mshrs, pend, ok := s.dispatchMem(ce, occ, extra)
 		if !ok {
 			s.st.IssueStallUnit++
 			return // MSHRs full; retry next cycle
 		}
 		ev.done = done
 		ev.mshrs = mshrs
+		deferred = pend
 	} else {
 		lat := basePipeDepth
 		if ce.out.Inst != nil {
@@ -145,6 +147,11 @@ func (s *SM) dispatch(ci int) {
 
 	s.unitBusy[unit] = s.now + occ
 	s.events = append(s.events, ev)
+	if len(deferred) > 0 {
+		s.pending = append(s.pending, pendingAccess{
+			evIdx: len(s.events) - 1, extra: extra, txs: deferred,
+		})
+	}
 	ce.valid = false
 }
 
@@ -183,10 +190,29 @@ func isFloatOp(op isa.Opcode) bool {
 	return op >= isa.OpFAdd && op <= isa.OpF2I
 }
 
+// pendingTx is one deferred L2/DRAM transaction of the phased mode.
+type pendingTx struct {
+	line  uint32
+	write bool
+}
+
+// pendingAccess groups the deferred transactions of one dispatched memory
+// instruction with the writeback event they must complete. evIdx indexes
+// s.events and is valid until the next processWritebacks, which cannot run
+// before CommitShared resolves the entry (commit ends the same cycle).
+type pendingAccess struct {
+	evIdx int
+	extra uint64
+	txs   []pendingTx
+}
+
 // dispatchMem models the memory pipeline: address generation, coalescing,
 // L1, and the shared L2/DRAM system. It returns the completion cycle and
-// the number of MSHRs held (for loads).
-func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, mshrs int, ok bool) {
+// the number of MSHRs held (for loads). In phased mode, beyond-L1
+// transactions are returned as pend for CommitShared to apply instead of
+// touching the shared memory system here; the returned done is then a lower
+// bound that commit raises once L2/DRAM timing is known.
+func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, mshrs int, pend []pendingTx, ok bool) {
 	in := ce.out.Inst
 	t := s.msys.Timing()
 
@@ -197,7 +223,7 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 
 	if !in.IsGlobalMem() {
 		s.meter.Add(power.CompSharedMem, s.en.SharedAccess)
-		return s.now + occ + uint64(t.SharedLatency) + extra, 0, true
+		return s.now + occ + uint64(t.SharedLatency) + extra, 0, nil, true
 	}
 
 	txs := mem.Coalesce(ce.out.Addrs, ce.out.Active)
@@ -206,7 +232,7 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 	// and fully-diverged gathers) must still make progress: it dispatches
 	// once the file has drained.
 	if isLoad && s.outstanding > 0 && s.outstanding+len(txs) > s.cfg.MaxMSHRs {
-		return 0, 0, false
+		return 0, 0, nil, false
 	}
 
 	latest := s.now + occ
@@ -229,6 +255,10 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 				}
 			} else {
 				s.st.L1Misses++
+				if s.phased {
+					pend = append(pend, pendingTx{line: line})
+					continue
+				}
 				txDone = s.memBeyondL1(line, false)
 				s.fills[line] = txDone
 			}
@@ -236,7 +266,11 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 			// Write-through, write-evict: the store drains towards DRAM in
 			// the background; the warp does not wait on it.
 			s.l1.Invalidate(line)
-			s.memBeyondL1(line, true)
+			if s.phased {
+				pend = append(pend, pendingTx{line: line, write: true})
+			} else {
+				s.memBeyondL1(line, true)
+			}
 			txDone = s.now + occ + 1
 		}
 		if txDone > latest {
@@ -247,7 +281,33 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 		s.outstanding += len(txs)
 		mshrs = len(txs)
 	}
-	return latest + extra, mshrs, true
+	return latest + extra, mshrs, pend, true
+}
+
+// CommitShared is the serial phase of a phased-mode cycle: it sends this
+// SM's deferred transactions into the shared L2/DRAM system — fixing up the
+// completion times of their writeback events — and flushes buffered global
+// stores into device memory. The chip loop calls it for each SM in
+// ascending SM-id order, which pins down L2 state transitions and DRAM
+// channel arbitration regardless of how many workers ran the compute phase.
+func (s *SM) CommitShared() {
+	for i := range s.pending {
+		p := &s.pending[i]
+		ev := &s.events[p.evIdx]
+		for _, tx := range p.txs {
+			done := s.memBeyondL1(tx.line, tx.write)
+			if !tx.write {
+				s.fills[tx.line] = done
+				if d := done + p.extra; d > ev.done {
+					ev.done = d
+				}
+			}
+		}
+	}
+	s.pending = s.pending[:0]
+	if s.storeBuf != nil {
+		s.storeBuf.Flush(s.gmem)
+	}
 }
 
 // memBeyondL1 sends one transaction into the L2/DRAM system, accounting

@@ -93,6 +93,14 @@ type SM struct {
 	unitBusy []uint64
 	events   []wbEvent
 
+	// Phased (parallel) mode: Cycle defers every access to shared chip
+	// state — L2/DRAM transactions and global-memory stores — into pending
+	// and storeBuf, and CommitShared drains them serially. phased is false
+	// in the legacy serial mode, where Cycle touches msys and gmem directly.
+	phased   bool
+	pending  []pendingAccess
+	storeBuf *kernel.StoreBuffer
+
 	outstanding   int
 	regBytesInUse int
 	deadOnWrite   []bool // §3.3 compiler-assisted elision table
@@ -139,6 +147,16 @@ func New(id int, cfg Config, arch Arch, en power.Energies, prog *kernel.Program,
 		s.deadOnWrite = asm.DeadOnWrite(prog)
 	}
 	return s
+}
+
+// EnablePhased switches the SM into phased mode for parallel simulation:
+// Cycle becomes a pure compute phase free of shared-state writes, and the
+// caller must invoke CommitShared after each cycle (serially, in ascending
+// SM-id order across the chip) to apply deferred L2/DRAM transactions and
+// global stores. Must be called before the first LaunchCTA.
+func (s *SM) EnablePhased() {
+	s.phased = true
+	s.storeBuf = &kernel.StoreBuffer{}
 }
 
 // Stats returns the SM's statistics accumulator.
@@ -222,10 +240,11 @@ func (s *SM) LaunchCTA(ctaLinear int) {
 			valid: true,
 			w:     w,
 			ctx: warp.Context{
-				Prog:   s.prog,
-				Launch: s.launch,
-				Global: s.gmem,
-				Shared: shared,
+				Prog:     s.prog,
+				Launch:   s.launch,
+				Global:   s.gmem,
+				Shared:   shared,
+				StoreBuf: s.storeBuf,
 			},
 			ctaSlot: slot,
 		}

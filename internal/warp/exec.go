@@ -306,7 +306,11 @@ func (w *Warp) execStore(ctx *Context, in *isa.Instruction, active Mask, out *Ou
 		out.Addrs[lane] = addr
 		v := w.operand(ctx, in.Srcs[1], lane)
 		if in.Op == isa.OpStGlobal {
-			ctx.Global.Store32(addr, v)
+			if ctx.StoreBuf != nil {
+				ctx.StoreBuf.Store32(addr, v)
+			} else {
+				ctx.Global.Store32(addr, v)
+			}
 		} else if err := storeShared(ctx, addr, v); err != nil {
 			return fmt.Errorf("%v at pc %d line %d", err, out.PC, in.Line)
 		}

@@ -233,6 +233,10 @@ type Context struct {
 	Launch *kernel.LaunchConfig
 	Global *kernel.Memory
 	Shared []uint32 // per-CTA shared memory (word-addressed model)
+	// StoreBuf, when non-nil, receives global stores instead of Global
+	// (phased simulation: stores are buffered during the concurrent compute
+	// phase and committed serially at end of cycle).
+	StoreBuf *kernel.StoreBuffer
 }
 
 // Outcome reports what one warp-instruction execution did; the timing model
