@@ -1,14 +1,16 @@
 # Verification targets. `make check` is the tier-1 gate (see ROADMAP.md):
-# build + full tests, vet, and a race-detector pass over the packages that
-# run goroutines (the phased parallel simulation loop and the experiment
+# build + full tests, vet, an explicit short-mode pass over the idle-skip
+# determinism suite (fast, and the property the event-driven core rework
+# depends on), and a race-detector pass over the packages that run
+# goroutines (the phased parallel simulation loop and the experiment
 # prewarm fan-out). The race pass uses -short because the detector slows
 # simulation ~10x; the short subset still drives the full phased loop.
 
 GO ?= go
 
-.PHONY: check build test vet race bench-parallel
+.PHONY: check build test vet race skipdet bench bench-parallel
 
-check: build test vet race
+check: build test vet skipdet race
 
 build:
 	$(GO) build ./...
@@ -19,9 +21,19 @@ test:
 vet:
 	$(GO) vet ./...
 
+skipdet:
+	$(GO) test -short -run 'TestIdleSkipDeterminism' .
+
 race:
 	$(GO) test -race -short . ./internal/gpu ./internal/experiments
 
-# Regenerates BENCH_parallel.json (serial vs phased-loop speedup snapshot).
+# Regenerates the simulator-performance snapshots: BENCH_core.json
+# (event-driven core loop: serial-noskip baseline vs skip vs skip+workers)
+# and BENCH_parallel.json (serial vs phased-loop speedup at several worker
+# counts).
+bench:
+	$(GO) test -bench 'ParallelSpeedup|CoreSpeedup' -benchtime 1x -run '^$$' .
+
+# Regenerates BENCH_parallel.json only.
 bench-parallel:
 	$(GO) test -bench ParallelSpeedup -benchtime 1x -run '^$$' .

@@ -5,6 +5,7 @@
 //
 //	gscalar-experiments [-exp all|fig1|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|moves]
 //	                    [-scale N] [-sms N] [-bench BP,LBM,...] [-parallel N] [-workers N]
+//	                    [-cpuprofile exp.pprof] [-memprofile exp.mprof]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"gscalar"
 	"gscalar/internal/experiments"
+	"gscalar/internal/hostprof"
 )
 
 func main() {
@@ -26,7 +28,16 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	parallel := flag.Int("parallel", 1, "simulate up to N (arch, workload) points concurrently; output is identical to -parallel 1")
 	workers := flag.Int("workers", 0, "phased-loop compute workers per simulation (0 = legacy serial loop, -1 = one per host core)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to this file")
 	flag.Parse()
+
+	prof, err := hostprof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gscalar-experiments:", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	cfg := gscalar.DefaultConfig()
 	if *sms > 0 {
@@ -46,12 +57,14 @@ func main() {
 	// serial run.
 	if *parallel > 1 {
 		if err := suite.Prewarm(suite.Points([]string{name}), *parallel); err != nil {
+			prof.Stop() // os.Exit skips the defer
 			fmt.Fprintln(os.Stderr, "gscalar-experiments:", err)
 			os.Exit(1)
 		}
 	}
 
 	if err := run(suite, cfg, name, *csvDir); err != nil {
+		prof.Stop() // os.Exit skips the defer
 		fmt.Fprintln(os.Stderr, "gscalar-experiments:", err)
 		os.Exit(1)
 	}

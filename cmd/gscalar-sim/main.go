@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	gscalar-sim -bench BP [-arch gscalar] [-scale 1] [-sms 15] [-workers N] [-list]
+//	gscalar-sim -bench BP [-arch gscalar] [-scale 1] [-sms 15] [-workers N]
+//	            [-noskip] [-cpuprofile sim.pprof] [-memprofile sim.mprof] [-list]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"sort"
 
 	"gscalar"
+	"gscalar/internal/hostprof"
 )
 
 var archByName = map[string]gscalar.Arch{
@@ -35,7 +37,17 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "print the per-component power breakdown")
 	all := flag.Bool("all", false, "run every Table 2 benchmark and print a summary table")
 	workers := flag.Int("workers", 0, "phased-loop compute workers (0 = legacy serial loop, -1 = one per host core)")
+	noskip := flag.Bool("noskip", false, "disable event-driven idle-cycle skipping (results are identical either way)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to this file")
 	flag.Parse()
+
+	var err error
+	prof, err = hostprof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	if *list {
 		for _, abbr := range gscalar.Workloads() {
@@ -49,7 +61,7 @@ func main() {
 		fatal(fmt.Errorf("unknown architecture %q", *archName))
 	}
 	if *all {
-		runAll(arch, *scale, *sms, *workers)
+		runAll(arch, *scale, *sms, *workers, *noskip)
 		return
 	}
 	if *bench == "" {
@@ -60,6 +72,7 @@ func main() {
 		cfg.NumSMs = *sms
 	}
 	cfg.Workers = *workers
+	cfg.DisableIdleSkip = *noskip
 	res, err := gscalar.RunWorkload(cfg, arch, *bench, *scale)
 	if err != nil {
 		fatal(err)
@@ -105,12 +118,13 @@ func main() {
 }
 
 // runAll prints a one-line summary per benchmark.
-func runAll(arch gscalar.Arch, scale, sms, workers int) {
+func runAll(arch gscalar.Arch, scale, sms, workers int, noskip bool) {
 	cfg := gscalar.DefaultConfig()
 	if sms > 0 {
 		cfg.NumSMs = sms
 	}
 	cfg.Workers = workers
+	cfg.DisableIdleSkip = noskip
 	fmt.Printf("%-4s %8s %10s %7s %8s %9s %8s %7s\n",
 		"sim", "cycles", "warpinsts", "IPC", "power(W)", "IPC/W", "eligible", "diverg")
 	for _, abbr := range gscalar.Workloads() {
@@ -124,7 +138,12 @@ func runAll(arch gscalar.Arch, scale, sms, workers int) {
 	}
 }
 
+// prof is stopped on every exit path; fatal must flush it because os.Exit
+// skips main's defer.
+var prof *hostprof.Profiles
+
 func fatal(err error) {
+	prof.Stop()
 	fmt.Fprintln(os.Stderr, "gscalar-sim:", err)
 	os.Exit(1)
 }

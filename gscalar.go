@@ -115,6 +115,12 @@ type Config struct {
 	// wall-clock time. See docs/architecture.md, "Parallel execution
 	// model".
 	Workers int
+	// DisableIdleSkip turns off event-driven idle-cycle skipping (on by
+	// default). Skipping never changes simulated results — it fast-forwards
+	// over cycles in which no SM could mutate any state — so the flag only
+	// exists for benchmarking and validation. See docs/architecture.md,
+	// "Performance".
+	DisableIdleSkip bool
 }
 
 // DefaultConfig returns the Table 1 configuration.
@@ -144,6 +150,7 @@ func (c Config) toGPU() gpu.Config {
 	g.L2Bytes = c.L2Bytes
 	g.MaxCycles = c.MaxCycles
 	g.Workers = c.Workers
+	g.DisableIdleSkip = c.DisableIdleSkip
 	g.MemTiming.NumChannels = c.MemChannels
 	g.SM.WarpSize = c.WarpSize
 	g.SM.Schedulers = c.SchedulersPerSM

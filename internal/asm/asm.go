@@ -122,6 +122,9 @@ func Assemble(src string) (*kernel.Program, error) {
 		return nil, err
 	}
 	p.NumRegs = maxRegUsed(p) + 1
+	// Decode metadata once at assembly time, so simulations that share this
+	// program across goroutines never build it concurrently.
+	p.BuildMeta()
 	return p, nil
 }
 

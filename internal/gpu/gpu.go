@@ -32,6 +32,14 @@ type Config struct {
 	// Workers != 0 values produce bit-identical results; the worker count
 	// only changes wall-clock time.
 	Workers int
+	// DisableIdleSkip turns off event-driven idle skipping: by default both
+	// loops fast-forward the cycle counter to the chip's next-event cycle
+	// whenever every SM is quiescent (no ready warps, no live operand
+	// collectors — only in-flight memory/pipeline completions). Skipped
+	// cycles mutate no state whatsoever, so results are bit-identical with
+	// skipping on or off; the flag exists for benchmarking the raw loop and
+	// for validating exactly that property.
+	DisableIdleSkip bool
 }
 
 // DefaultConfig returns the GTX-480-like configuration of Table 1.
@@ -159,6 +167,19 @@ func runSerial(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.Launch
 	for {
 		disp.dispatch(sms)
 
+		// Event-driven idle skipping: once CTA dispatch has run (a fresh
+		// CTA makes its SM unskippable), a chip where every SM is
+		// quiescent can jump straight to the earliest completion event.
+		// The skipped cycles would not have mutated any state.
+		if !cfg.DisableIdleSkip {
+			if target, ok := nextEventCycle(sms); ok && target > cycle {
+				if target >= maxCycles {
+					return rawResult{}, fmt.Errorf("gpu: exceeded %d cycles (deadlock or runaway kernel)", maxCycles)
+				}
+				cycle = target
+			}
+		}
+
 		busy := false
 		for _, s := range sms {
 			s.Cycle(cycle)
@@ -179,6 +200,28 @@ func runSerial(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.Launch
 	}
 
 	return finishRun(sms, cycle), nil
+}
+
+// nextEventCycle folds the per-SM next-event reports into a chip-wide skip
+// target. ok is false when any SM must be stepped cycle by cycle. A chip
+// whose SMs are all idle (sm.NoEvent) reports ok=false too: either the run
+// is about to terminate, or CTAs are unplaceable (a configuration error the
+// cycle-by-cycle MaxCycles bound should surface, not a skip).
+func nextEventCycle(sms []*sm.SM) (uint64, bool) {
+	next := uint64(sm.NoEvent)
+	for _, s := range sms {
+		c, ok := s.NextEventCycle()
+		if !ok {
+			return 0, false
+		}
+		if c < next {
+			next = c
+		}
+	}
+	if next == sm.NoEvent {
+		return 0, false
+	}
+	return next, true
 }
 
 // finishRun aggregates per-SM statistics in ascending id order.

@@ -131,6 +131,19 @@ func runPhased(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.Launch
 	for {
 		disp.dispatch(sms)
 
+		// Event-driven idle skipping, identical to the serial loop: the
+		// check runs serially between commit and compute phases, so it
+		// reads SM state race-free, and skipped cycles would have mutated
+		// nothing (their CommitShared calls would have drained nothing).
+		if !cfg.DisableIdleSkip {
+			if target, ok := nextEventCycle(sms); ok && target > cycle {
+				if target >= maxCycles {
+					return rawResult{}, fmt.Errorf("gpu: exceeded %d cycles (deadlock or runaway kernel)", maxCycles)
+				}
+				cycle = target
+			}
+		}
+
 		// Compute phase.
 		if pool != nil {
 			pool.cycle(cycle)

@@ -1,0 +1,219 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/kernel"
+	"gscalar/internal/sm"
+)
+
+// runSkipPair runs the same launch with idle skipping on and off and
+// requires bit-identical Results (cycles, every statistic, exact energy).
+// It returns the skip-enabled result. Workers selects the chip loop.
+func runSkipPair(t *testing.T, src string, workers int, numSMs int,
+	setup func(m *kernel.Memory, lc *kernel.LaunchConfig)) Result {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(disable bool) (Result, []uint32) {
+		mem := kernel.NewMemory()
+		lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 8, Y: 1}, Block: kernel.Dim{X: 128, Y: 1}}
+		if setup != nil {
+			setup(mem, lc)
+		}
+		cfg := DefaultConfig()
+		cfg.NumSMs = numSMs
+		cfg.MaxCycles = 2_000_000
+		cfg.Workers = workers
+		cfg.DisableIdleSkip = disable
+		res, err := Run(cfg, sm.GScalar(), prog, lc, mem)
+		if err != nil {
+			t.Fatalf("workers=%d noskip=%v: %v", workers, disable, err)
+		}
+		// Fingerprint device memory so functional output is compared too.
+		return res, mem.ReadU32(256, 4096)
+	}
+	skip, skipMem := run(false)
+	noskip, noskipMem := run(true)
+	if skip.Cycles != noskip.Cycles {
+		t.Errorf("cycles differ: skip=%d noskip=%d", skip.Cycles, noskip.Cycles)
+	}
+	if !reflect.DeepEqual(skip, noskip) {
+		t.Errorf("results differ:\nskip:   %+v\nnoskip: %+v", skip, noskip)
+	}
+	if !reflect.DeepEqual(skipMem, noskipMem) {
+		t.Error("device memory differs between skip and noskip runs")
+	}
+	return skip
+}
+
+// TestSkipBarrierOnlyStall covers the barrier boundary case: warps park at
+// bar.sync while their pre-barrier loads are still in flight, so entire SMs
+// sit with zero ready warps and only writeback events pending — exactly the
+// state idle skipping fast-forwards over. The barrier release must still
+// happen on the correct cycle (it is triggered by the last arrival or a
+// writeback-unblocked issue, never by an idle cycle).
+func TestSkipBarrierOnlyStall(t *testing.T) {
+	src := `
+	mov r1, %tid.x
+	imad r2, %ctaid.x, %ntid.x, r1
+	shl r3, r2, 2
+	shl r11, r1, 2
+	iadd r4, $0, r3
+	ldg r5, [r4]
+	sts [r11], r5
+	bar
+	mov r6, %ntid.x
+	isub r7, r6, r1
+	isub r7, r7, 1
+	shl r8, r7, 2
+	lds r9, [r8]
+	iadd r10, $1, r3
+	stg [r10], r9
+	exit
+`
+	for _, workers := range []int{0, 4} {
+		runSkipPair(t, src, workers, 2, func(m *kernel.Memory, lc *kernel.LaunchConfig) {
+			lc.SharedBytes = 128 * 4
+			vals := make([]uint32, 8*128)
+			for i := range vals {
+				vals[i] = uint32(i * 3)
+			}
+			lc.Params[0] = m.AllocU32(vals)
+			lc.Params[1] = m.Alloc(8 * 128 * 4)
+		})
+	}
+}
+
+// TestSkipMixedDoneAndStalled covers a CTA whose warps finish at wildly
+// different times: low warps exit almost immediately while high warps chase
+// long dependent-load chains. The SM spends long stretches with done warps,
+// no ready warps, and in-flight loads — skippable — but the done warps'
+// retirement bookkeeping (CTA release, barrier accounting) must be
+// unaffected by the jumps.
+func TestSkipMixedDoneAndStalled(t *testing.T) {
+	src := `
+	mov r1, %tid.x
+	isetp.lt p0, r1, 64
+	@p0 exit
+	imad r2, %ctaid.x, %ntid.x, r1
+	shl r3, r2, 7
+	iadd r4, $0, r3
+	ldg r5, [r4]
+	and r6, r5, 4095
+	shl r6, r6, 2
+	iadd r6, $0, r6
+	ldg r7, [r6]
+	iadd r8, r5, r7
+	shl r9, r2, 2
+	iadd r10, $1, r9
+	stg [r10], r8
+	exit
+`
+	for _, workers := range []int{0, 4} {
+		runSkipPair(t, src, workers, 2, func(m *kernel.Memory, lc *kernel.LaunchConfig) {
+			vals := make([]uint32, 8*128*32)
+			for i := range vals {
+				vals[i] = uint32(i * 7)
+			}
+			lc.Params[0] = m.AllocU32(vals)
+			lc.Params[1] = m.Alloc(8 * 128 * 4)
+		})
+	}
+}
+
+// TestSkipIdleSMWithPendingCTAs covers the dispatcher boundary case: a
+// one-SM chip with far more CTAs than residency, where the SM repeatedly
+// drains to idle on the same cycle the dispatcher would refill it. The skip
+// check runs after dispatch, so a refilled SM is unskippable; a bug that
+// skipped over the refill would show up as a cycle-count difference.
+func TestSkipIdleSMWithPendingCTAs(t *testing.T) {
+	src := `
+	mov r1, %tid.x
+	imad r2, %ctaid.x, %ntid.x, r1
+	shl r3, r2, 2
+	iadd r4, $0, r3
+	ldg r5, [r4]
+	iadd r5, r5, 1
+	iadd r6, $1, r3
+	stg [r6], r5
+	exit
+`
+	for _, workers := range []int{0, 4} {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(disable bool) Result {
+			mem := kernel.NewMemory()
+			lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 24, Y: 1}, Block: kernel.Dim{X: 32, Y: 1}}
+			vals := make([]uint32, 24*32)
+			for i := range vals {
+				vals[i] = uint32(i)
+			}
+			lc.Params[0] = mem.AllocU32(vals)
+			lc.Params[1] = mem.Alloc(24 * 32 * 4)
+			cfg := DefaultConfig()
+			cfg.NumSMs = 1
+			cfg.MaxCycles = 2_000_000
+			cfg.Workers = workers
+			cfg.DisableIdleSkip = disable
+			res, err := Run(cfg, sm.GScalar(), prog, lc, mem)
+			if err != nil {
+				t.Fatalf("workers=%d noskip=%v: %v", workers, disable, err)
+			}
+			return res
+		}
+		skip, noskip := run(false), run(true)
+		if !reflect.DeepEqual(skip, noskip) {
+			t.Errorf("workers=%d: results differ:\nskip:   %+v\nnoskip: %+v", workers, skip, noskip)
+		}
+	}
+}
+
+// TestSkipMaxCyclesMidSkip covers the abort boundary case: the bound
+// expires while every SM is quiescent waiting on a DRAM access that
+// completes after MaxCycles. The skip path must report the exact error the
+// cycle-by-cycle loop reports, not jump past the bound.
+func TestSkipMaxCyclesMidSkip(t *testing.T) {
+	src := `
+	mov r1, %tid.x
+	shl r2, r1, 2
+	iadd r3, $0, r2
+	ldg r4, [r3]
+	stg [r3], r4
+	exit
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		errs := make([]string, 2)
+		for i, disable := range []bool{false, true} {
+			mem := kernel.NewMemory()
+			lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 32, Y: 1}}
+			lc.Params[0] = mem.Alloc(32 * 4)
+			cfg := DefaultConfig()
+			cfg.NumSMs = 1
+			// A DRAM round trip costs hundreds of cycles; the load issues
+			// within the first ~30, so the bound trips while the SM is
+			// quiescent mid-flight.
+			cfg.MaxCycles = 50
+			cfg.Workers = workers
+			cfg.DisableIdleSkip = disable
+			_, err := Run(cfg, sm.GScalar(), prog, lc, mem)
+			if err == nil {
+				t.Fatalf("workers=%d noskip=%v: expected MaxCycles error, got success", workers, disable)
+			}
+			errs[i] = err.Error()
+		}
+		if errs[0] != errs[1] {
+			t.Errorf("workers=%d: error text differs:\nskip:   %s\nnoskip: %s", workers, errs[0], errs[1])
+		}
+	}
+}

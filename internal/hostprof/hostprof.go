@@ -1,0 +1,66 @@
+// Package hostprof wires command-line -cpuprofile/-memprofile flags to
+// runtime/pprof for profiling the simulator itself (the host program, as
+// opposed to internal/profile, which profiles simulated kernels). See
+// docs/architecture.md, "Performance", for the intended workflow.
+package hostprof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the in-progress profiling state of one CLI run.
+type Profiles struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling into cpuPath and arms a heap snapshot to
+// memPath; either may be empty to skip that profile. The caller must call
+// Stop on every exit path (including error exits — os.Exit skips defers).
+func Start(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("hostprof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("hostprof: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop finalises the profiles: it stops the CPU profile and writes the heap
+// profile (after a GC, so the snapshot reflects live objects, not garbage).
+// Stop is idempotent and safe on a nil receiver.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("hostprof: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("hostprof: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("hostprof: %w", err)
+		}
+		p.memPath = ""
+	}
+	return nil
+}

@@ -16,6 +16,25 @@ type Program struct {
 	Code    []isa.Instruction
 	Labels  map[string]int // label -> PC
 	NumRegs int            // highest GPR index used + 1
+
+	// meta caches per-PC decode products (class, latency, destination kind)
+	// so the issue/dispatch hot path never re-derives them per dynamic
+	// instruction. Built by BuildMeta; nil on hand-constructed Programs
+	// until their first simulation.
+	meta []InstMeta
+}
+
+// InstMeta is the decoded metadata of one static instruction, computed once
+// per PC instead of per dynamic execution.
+type InstMeta struct {
+	Class      isa.Class
+	Latency    uint16 // execution latency (isa.Latency)
+	OccMul     uint8  // dispatch-occupancy multiplier (iterative divides)
+	FrontEnd   bool   // completes in the front end (control ops and nop)
+	WritesReg  bool
+	WritesPred bool
+	DstReg     uint8 // valid when WritesReg
+	DstPred    uint8 // valid when WritesPred
 }
 
 // At returns the instruction at pc.
@@ -23,6 +42,39 @@ func (p *Program) At(pc int) *isa.Instruction { return &p.Code[pc] }
 
 // Len returns the number of static instructions.
 func (p *Program) Len() int { return len(p.Code) }
+
+// Meta returns the decoded metadata of the instruction at pc. BuildMeta
+// must have run first (the assembler and the simulator entry points do).
+func (p *Program) Meta(pc int) *InstMeta { return &p.meta[pc] }
+
+// BuildMeta populates the per-PC metadata cache. It is idempotent, and NOT
+// safe to call concurrently with itself or with simulation: callers that
+// share one Program across goroutines (the phased chip loop, the experiment
+// fan-out) must build the cache first, which the assembler and gpu.Run both
+// do before any worker starts.
+func (p *Program) BuildMeta() {
+	if len(p.meta) == len(p.Code) && p.meta != nil {
+		return
+	}
+	meta := make([]InstMeta, len(p.Code))
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		m := &meta[pc]
+		m.Class = in.Class()
+		m.Latency = uint16(isa.Latency(in.Op))
+		m.OccMul = 1
+		switch in.Op {
+		case isa.OpIDiv, isa.OpIRem:
+			m.OccMul = 8
+		case isa.OpFDiv:
+			m.OccMul = 4
+		}
+		m.FrontEnd = m.Class == isa.ClassCtrl || in.Op == isa.OpNop
+		m.DstReg, m.WritesReg = in.WritesReg()
+		m.DstPred, m.WritesPred = in.WritesPred()
+	}
+	p.meta = meta
+}
 
 // Dim is a 2-D extent (x, y).
 type Dim struct{ X, Y int }

@@ -5,10 +5,6 @@
 // the SM, and DRAM channels serialise transactions at their burst rate.
 package mem
 
-import (
-	"sort"
-)
-
 // LineSize is the memory transaction granularity in bytes (one L1/L2 line).
 const LineSize = 128
 
@@ -18,19 +14,32 @@ const LineSize = 128
 // pipeline performs exactly this coalescing; a scalar-eligible memory
 // instruction produces one transaction.
 func Coalesce(addrs []uint32, active uint64) []uint32 {
-	var lines []uint32
-	seen := make(map[uint32]struct{}, 4)
+	return CoalesceInto(nil, addrs, active)
+}
+
+// CoalesceInto is Coalesce writing into buf (reset to length zero first), so
+// the per-access scratch can be reused across calls without allocating. A
+// warp produces at most one line per lane, so sorted-insertion dedup beats a
+// map + sort for every realistic access pattern.
+func CoalesceInto(buf []uint32, addrs []uint32, active uint64) []uint32 {
+	lines := buf[:0]
 	for lane := 0; lane < len(addrs); lane++ {
 		if active&(1<<lane) == 0 {
 			continue
 		}
 		line := addrs[lane] &^ (LineSize - 1)
-		if _, ok := seen[line]; !ok {
-			seen[line] = struct{}{}
-			lines = append(lines, line)
+		// Insert into the sorted prefix, skipping duplicates.
+		i := len(lines)
+		for i > 0 && lines[i-1] > line {
+			i--
 		}
+		if i > 0 && lines[i-1] == line {
+			continue
+		}
+		lines = append(lines, 0)
+		copy(lines[i+1:], lines[i:])
+		lines[i] = line
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	return lines
 }
 

@@ -2,7 +2,6 @@ package sm
 
 import (
 	"fmt"
-	"sort"
 
 	"gscalar/internal/core"
 	"gscalar/internal/isa"
@@ -22,30 +21,38 @@ func (s *SM) issue() {
 }
 
 // issueFrom tries to issue one instruction from scheduler sched's warps.
+// GTO walks the scheduler's pre-sorted age list (schedWarps); LRR walks the
+// warp slots in rotation order starting after the last issued one. Both
+// visit candidates in exactly the order the previous sort-per-cycle
+// implementation produced. The age list is snapshotted into a reusable
+// scratch buffer first because tryIssueWarp can retire warps (Peek
+// exhaustion), which edits the list mid-walk.
 func (s *SM) issueFrom(sched int) {
 	last := s.lastIssued[sched]
 	if s.cfg.Sched == SchedGTO && last >= 0 && s.tryIssueWarp(sched, last) {
 		// Greedy: stick with the last warp while it can issue.
 		return
 	}
-	type cand struct{ wi, key int }
-	var cands []cand
-	for wi := sched; wi < len(s.warps); wi += s.cfg.Schedulers {
-		wc := &s.warps[wi]
-		if !wc.valid || wc.done || (s.cfg.Sched == SchedGTO && wi == last) {
+	if s.cfg.Sched == SchedLRR {
+		n := len(s.warps)
+		for d := 0; d < n; d++ {
+			wi := (last + 1 + d) % n
+			if wi%s.cfg.Schedulers != sched {
+				continue
+			}
+			if s.tryIssueWarp(sched, wi) {
+				return
+			}
+		}
+		return
+	}
+	cands := append(s.candScratch[:0], s.schedWarps[sched]...)
+	s.candScratch = cands[:0]
+	for _, wi := range cands {
+		if wi == last {
 			continue
 		}
-		key := wc.w.GlobalID
-		if s.cfg.Sched == SchedLRR {
-			// Round-robin: order by distance from the warp after the last
-			// issued one.
-			key = (wi - last - 1 + len(s.warps)) % len(s.warps)
-		}
-		cands = append(cands, cand{wi, key})
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
-	for _, c := range cands {
-		if s.tryIssueWarp(sched, c.wi) {
+		if s.tryIssueWarp(sched, wi) {
 			return
 		}
 	}
@@ -54,7 +61,7 @@ func (s *SM) issueFrom(sched int) {
 // tryIssueWarp attempts to issue the next instruction of warp slot wi.
 func (s *SM) tryIssueWarp(sched, wi int) bool {
 	wc := &s.warps[wi]
-	if !wc.valid || wc.done {
+	if !wc.valid || wc.done || wc.scoreStalled {
 		return false
 	}
 	if wc.w.Status() != warp.StatusReady {
@@ -67,13 +74,19 @@ func (s *SM) tryIssueWarp(sched, wi int) bool {
 	}
 
 	// Scoreboard: no bypassing — sources, destination and guard must not be
-	// pending (RAW/WAW).
+	// pending (RAW/WAW). The stall state can only change when one of this
+	// warp's own writebacks lands, so the warp leaves the ready set until
+	// completeEvent clears the flag (IssueStallScoreboard therefore counts
+	// stall episodes, not stalled warp-cycles).
 	if s.hazard(wc, in) {
 		s.st.IssueStallScoreboard++
+		wc.scoreStalled = true
+		s.markUnready(wi)
 		return false
 	}
 
-	isCtrl := in.Class() == isa.ClassCtrl || in.Op == isa.OpNop
+	m := s.prog.Meta(pc)
+	isCtrl := m.FrontEnd
 
 	var free int
 	if !isCtrl {
@@ -88,16 +101,16 @@ func (s *SM) tryIssueWarp(sched, wi int) bool {
 	// decompressed by an injected special move — unless the compiler-
 	// assisted analysis proved the register's previous value dead.
 	if s.arch.RVC == RVCByteWise {
-		if dst, writes := in.WritesReg(); writes && active != wc.w.LiveMask &&
-			wc.meta.NeedsDecompressMove(int(dst), s.arch.F) {
+		if m.WritesReg && active != wc.w.LiveMask &&
+			wc.meta.NeedsDecompressMove(int(m.DstReg), s.arch.F) {
 			if s.deadOnWrite != nil && s.deadOnWrite[pc] {
 				// Elided: the stale inactive-lane bytes are unobservable;
 				// the divergent write lands uncompressed without a
 				// read-modify-write.
-				wc.meta.DecompressInPlace(int(dst))
+				wc.meta.DecompressInPlace(int(m.DstReg))
 				s.st.MovesElided++
 			} else {
-				s.injectMove(free, wi, dst)
+				s.injectMove(free, wi, m.DstReg)
 				s.lastIssued[sched] = wi
 				return true
 			}
@@ -108,9 +121,7 @@ func (s *SM) tryIssueWarp(sched, wi int) bool {
 	// sampled before execution (sources may alias the destination).
 	divergentOracle := false
 	if active != wc.w.LiveMask && !isCtrl {
-		divergentOracle = core.ValueScalarOracle(in, active, func(r uint8) []uint32 {
-			return wc.w.RegVec(r)
-		})
+		divergentOracle = core.ValueScalarOracle(in, active, wc.regVec)
 	}
 
 	// Scalar-eligibility detection uses only EBR/BVR metadata, which is
@@ -128,10 +139,15 @@ func (s *SM) tryIssueWarp(sched, wi int) bool {
 		}
 	}
 	predUniform := false
-	if _, wp := in.WritesPred(); wp && s.arch.RVC == RVCByteWise {
+	if m.WritesPred && s.arch.RVC == RVCByteWise {
 		predUniform = wc.meta.SourcesScalarForPred(in, active)
 	}
 
+	if !isCtrl {
+		// Address generation writes into the collector's resident scratch
+		// so memory instructions allocate no per-access address vector.
+		wc.ctx.AddrScratch = s.collectors[free].addrBuf
+	}
 	out, err := wc.w.Execute(&wc.ctx)
 	if err != nil {
 		s.fail(fmt.Errorf("sm%d warp %d: %w", s.ID, wc.w.GlobalID, err))
@@ -141,18 +157,22 @@ func (s *SM) tryIssueWarp(sched, wi int) bool {
 
 	// Statistics and front-end energy.
 	s.meter.Add(power.CompFrontEnd, s.en.FrontEndPerInst)
-	s.st.CountInst(in.Class(), warp.PopCount(out.Active), out.Divergent)
+	s.st.CountInst(m.Class, warp.PopCount(out.Active), out.Divergent)
 	if out.Divergent && !isCtrl && divergentOracle {
 		s.st.DivergentValueScalar++
 	}
 	if s.arch.Scalar == ScalarGS {
-		s.st.CountEligibility(elig, in.Class())
+		s.st.CountEligibility(elig, m.Class)
 	} else if srfScalar {
 		s.st.EligFullALU++
 	}
 
 	if out.Exited {
 		s.retireWarp(wi)
+	} else if out.AtBarrier {
+		s.ctas[wc.ctaSlot].arrived++
+		s.markUnready(wi)
+		s.barrierCheck = true
 	}
 	if isCtrl {
 		// Branches, barriers, exits complete in the front end.
@@ -163,16 +183,21 @@ func (s *SM) tryIssueWarp(sched, wi int) bool {
 	// Allocate the operand collector with the source-read plan, and mark
 	// the destination pending.
 	ce := &s.collectors[free]
+	reads := ce.reads[:0]
+	addrBuf := ce.addrBuf
 	*ce = collectorEntry{
 		valid: true, wi: wi, out: out, elig: elig,
 		srfScalar: srfScalar, predUniform: predUniform,
+		class: m.Class, latency: m.Latency, occMul: m.OccMul,
+		reads: reads, addrBuf: addrBuf,
 	}
+	s.liveCollectors++
 	s.planReads(ce, wc, in, out)
-	if dst, w := in.WritesReg(); w {
-		wc.pendRegs |= 1 << dst
+	if m.WritesReg {
+		wc.pendRegs |= 1 << m.DstReg
 	}
-	if p, w := in.WritesPred(); w {
-		wc.pendPreds |= 1 << p
+	if m.WritesPred {
+		wc.pendPreds |= 1 << m.DstPred
 	}
 	s.lastIssued[sched] = wi
 	return true
@@ -223,9 +248,15 @@ func (s *SM) injectMove(free, wi int, reg uint8) {
 	s.st.InjectedMoves++
 
 	ce := &s.collectors[free]
-	*ce = collectorEntry{valid: true, wi: wi, isMove: true, moveReg: reg}
+	reads := ce.reads[:0]
+	addrBuf := ce.addrBuf
+	*ce = collectorEntry{
+		valid: true, wi: wi, isMove: true, moveReg: reg,
+		occMul: 1, reads: reads, addrBuf: addrBuf,
+	}
 	ce.out.DstReg = int(reg)
 	ce.out.Active = wc.w.LiveMask
+	s.liveCollectors++
 
 	rc := wc.meta.OnRead(int(reg), wc.w.LiveMask, s.arch.F, false)
 	ce.reads = append(ce.reads,

@@ -76,33 +76,23 @@ func (ce *collectorEntry) scalarLanes(width int) int {
 
 // occupancy returns how many cycles the instruction holds its unit's
 // dispatch port: a warp is fed over ceil(warpSize/width) cycles, and
-// unpipelined iterative divides block longer. Scalar execution does NOT
-// shorten the occupancy: G-Scalar clock-gates all but one lane of the
-// existing dispatch slots (§4.1), trading energy — not throughput — which
-// is why the paper reports a small net IPC *loss* (the +3-cycle latency)
-// rather than a speedup.
+// unpipelined iterative divides block longer (the multiplier is decoded
+// once into the collector's occMul). Scalar execution does NOT shorten the
+// occupancy: G-Scalar clock-gates all but one lane of the existing dispatch
+// slots (§4.1), trading energy — not throughput — which is why the paper
+// reports a small net IPC *loss* (the +3-cycle latency) rather than a
+// speedup.
 func (s *SM) occupancy(ce *collectorEntry, unitWidth int) uint64 {
 	occ := uint64((s.cfg.WarpSize + unitWidth - 1) / unitWidth)
-	if ce.out.Inst != nil {
-		switch ce.out.Inst.Op {
-		case isa.OpIDiv, isa.OpIRem:
-			occ *= 8
-		case isa.OpFDiv:
-			occ *= 4
-		}
-	}
-	return occ
+	return occ * uint64(ce.occMul)
 }
 
 // dispatch sends a completed collector entry to its execution unit.
 func (s *SM) dispatch(ci int) {
 	ce := &s.collectors[ci]
 
+	class := ce.class
 	var unit, width int
-	class := isa.ClassALU
-	if ce.out.Inst != nil {
-		class = ce.out.Inst.Class()
-	}
 	switch {
 	case ce.isMove:
 		unit, width = s.freeALU(), s.cfg.ALUWidth
@@ -126,33 +116,32 @@ func (s *SM) dispatch(ci int) {
 		isMove: ce.isMove, moveReg: ce.moveReg, predUniform: ce.predUniform,
 	}
 
-	var deferred []pendingTx
+	txStart := len(s.txBuf)
 	if class == isa.ClassMem && !ce.isMove {
-		done, mshrs, pend, ok := s.dispatchMem(ce, occ, extra)
+		done, mshrs, ok := s.dispatchMem(ce, occ, extra)
 		if !ok {
 			s.st.IssueStallUnit++
 			return // MSHRs full; retry next cycle
 		}
 		ev.done = done
 		ev.mshrs = mshrs
-		deferred = pend
 	} else {
-		lat := basePipeDepth
-		if ce.out.Inst != nil {
-			lat += isa.Latency(ce.out.Inst.Op)
-		}
-		ev.done = s.now + occ + uint64(lat) + extra
+		ev.done = s.now + occ + uint64(basePipeDepth) + uint64(ce.latency) + extra
 		s.execEnergy(ce, class)
 	}
 
 	s.unitBusy[unit] = s.now + occ
 	s.events = append(s.events, ev)
-	if len(deferred) > 0 {
+	if ev.done < s.nextWb {
+		s.nextWb = ev.done
+	}
+	if txEnd := len(s.txBuf); txEnd > txStart {
 		s.pending = append(s.pending, pendingAccess{
-			evIdx: len(s.events) - 1, extra: extra, txs: deferred,
+			evIdx: len(s.events) - 1, extra: extra, txStart: txStart, txEnd: txEnd,
 		})
 	}
 	ce.valid = false
+	s.liveCollectors--
 }
 
 // freeALU returns a free ALU pipeline index, or -1.
@@ -200,19 +189,63 @@ type pendingTx struct {
 // instruction with the writeback event they must complete. evIdx indexes
 // s.events and is valid until the next processWritebacks, which cannot run
 // before CommitShared resolves the entry (commit ends the same cycle).
+// txStart/txEnd index s.txBuf, the cycle's flat transaction buffer.
 type pendingAccess struct {
-	evIdx int
-	extra uint64
-	txs   []pendingTx
+	evIdx          int
+	extra          uint64
+	txStart, txEnd int
+}
+
+// fillGet looks up an in-flight fill of line.
+func (s *SM) fillGet(line uint32) (uint64, bool) {
+	for i := range s.fills {
+		if s.fills[i].line == line {
+			return s.fills[i].done, true
+		}
+	}
+	return 0, false
+}
+
+// fillDelete removes the fill entry for line, if any.
+func (s *SM) fillDelete(line uint32) {
+	for i := range s.fills {
+		if s.fills[i].line == line {
+			last := len(s.fills) - 1
+			s.fills[i] = s.fills[last]
+			s.fills = s.fills[:last]
+			return
+		}
+	}
+}
+
+// fillPut records (or refreshes) the fill completion time of line. Before
+// growing the list it prunes fills that have already landed — a landed fill
+// can never raise a later access's completion time (every new access
+// completes strictly after now), so pruning is unobservable and bounds the
+// list by the MSHR count.
+func (s *SM) fillPut(line uint32, done uint64) {
+	for i := range s.fills {
+		if s.fills[i].line == line {
+			s.fills[i].done = done
+			return
+		}
+	}
+	kept := s.fills[:0]
+	for _, f := range s.fills {
+		if f.done > s.now {
+			kept = append(kept, f)
+		}
+	}
+	s.fills = append(kept, lineFill{line: line, done: done})
 }
 
 // dispatchMem models the memory pipeline: address generation, coalescing,
 // L1, and the shared L2/DRAM system. It returns the completion cycle and
 // the number of MSHRs held (for loads). In phased mode, beyond-L1
-// transactions are returned as pend for CommitShared to apply instead of
+// transactions are appended to s.txBuf for CommitShared to apply instead of
 // touching the shared memory system here; the returned done is then a lower
 // bound that commit raises once L2/DRAM timing is known.
-func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, mshrs int, pend []pendingTx, ok bool) {
+func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, mshrs int, ok bool) {
 	in := ce.out.Inst
 	t := s.msys.Timing()
 
@@ -223,16 +256,17 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 
 	if !in.IsGlobalMem() {
 		s.meter.Add(power.CompSharedMem, s.en.SharedAccess)
-		return s.now + occ + uint64(t.SharedLatency) + extra, 0, nil, true
+		return s.now + occ + uint64(t.SharedLatency) + extra, 0, true
 	}
 
-	txs := mem.Coalesce(ce.out.Addrs, ce.out.Active)
+	s.coalesceBuf = mem.CoalesceInto(s.coalesceBuf, ce.out.Addrs, ce.out.Active)
+	txs := s.coalesceBuf
 	isLoad := in.IsLoad()
 	// A request larger than the whole MSHR file (possible with wide warps
 	// and fully-diverged gathers) must still make progress: it dispatches
 	// once the file has drained.
 	if isLoad && s.outstanding > 0 && s.outstanding+len(txs) > s.cfg.MaxMSHRs {
-		return 0, 0, nil, false
+		return 0, 0, false
 	}
 
 	latest := s.now + occ
@@ -245,29 +279,29 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 				txDone = s.now + occ + uint64(t.L1HitLatency)
 				// MSHR merging: the line may still be in flight from an
 				// earlier miss; the merged access waits for the fill.
-				if fill, ok := s.fills[line]; ok {
+				if fill, ok := s.fillGet(line); ok {
 					if fill > txDone {
 						txDone = fill
 						s.st.MSHRMerges++
 					} else {
-						delete(s.fills, line)
+						s.fillDelete(line)
 					}
 				}
 			} else {
 				s.st.L1Misses++
 				if s.phased {
-					pend = append(pend, pendingTx{line: line})
+					s.txBuf = append(s.txBuf, pendingTx{line: line})
 					continue
 				}
 				txDone = s.memBeyondL1(line, false)
-				s.fills[line] = txDone
+				s.fillPut(line, txDone)
 			}
 		} else {
 			// Write-through, write-evict: the store drains towards DRAM in
 			// the background; the warp does not wait on it.
 			s.l1.Invalidate(line)
 			if s.phased {
-				pend = append(pend, pendingTx{line: line, write: true})
+				s.txBuf = append(s.txBuf, pendingTx{line: line, write: true})
 			} else {
 				s.memBeyondL1(line, true)
 			}
@@ -281,7 +315,7 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 		s.outstanding += len(txs)
 		mshrs = len(txs)
 	}
-	return latest + extra, mshrs, pend, true
+	return latest + extra, mshrs, true
 }
 
 // CommitShared is the serial phase of a phased-mode cycle: it sends this
@@ -291,21 +325,25 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 // ascending SM-id order, which pins down L2 state transitions and DRAM
 // channel arbitration regardless of how many workers ran the compute phase.
 func (s *SM) CommitShared() {
-	for i := range s.pending {
-		p := &s.pending[i]
-		ev := &s.events[p.evIdx]
-		for _, tx := range p.txs {
-			done := s.memBeyondL1(tx.line, tx.write)
-			if !tx.write {
-				s.fills[tx.line] = done
-				if d := done + p.extra; d > ev.done {
-					ev.done = d
+	if len(s.pending) > 0 {
+		for i := range s.pending {
+			p := &s.pending[i]
+			ev := &s.events[p.evIdx]
+			for _, tx := range s.txBuf[p.txStart:p.txEnd] {
+				done := s.memBeyondL1(tx.line, tx.write)
+				if !tx.write {
+					s.fillPut(tx.line, done)
+					if d := done + p.extra; d > ev.done {
+						ev.done = d
+					}
 				}
 			}
 		}
+		s.pending = s.pending[:0]
+		s.txBuf = s.txBuf[:0]
+		s.recomputeNextWb()
 	}
-	s.pending = s.pending[:0]
-	if s.storeBuf != nil {
+	if s.storeBuf != nil && s.storeBuf.Len() > 0 {
 		s.storeBuf.Flush(s.gmem)
 	}
 }
@@ -325,23 +363,43 @@ func (s *SM) memBeyondL1(line uint32, write bool) uint64 {
 	return done
 }
 
+// recomputeNextWb re-derives the earliest pending writeback time after
+// event completion times changed or events were removed.
+func (s *SM) recomputeNextWb() {
+	next := uint64(NoEvent)
+	for i := range s.events {
+		if s.events[i].done < next {
+			next = s.events[i].done
+		}
+	}
+	s.nextWb = next
+}
+
 // processWritebacks retires events whose completion cycle has arrived:
 // scoreboard release, register-file write energy, and compression-metadata
-// update (the hardware's compressor stage).
+// update (the hardware's compressor stage). The caller (Cycle) skips it
+// entirely until nextWb, so the scan below runs only on cycles that
+// actually retire something.
 func (s *SM) processWritebacks() {
 	// Remove completed events from the list BEFORE handling them:
 	// completeEvent consults hasInFlight (via maybeRecycle), which must not
 	// see the event that is currently being retired.
-	var done []wbEvent
+	done := s.wbScratch[:0]
 	kept := s.events[:0]
+	next := uint64(NoEvent)
 	for _, ev := range s.events {
 		if ev.done > s.now {
+			if ev.done < next {
+				next = ev.done
+			}
 			kept = append(kept, ev)
 		} else {
 			done = append(done, ev)
 		}
 	}
 	s.events = kept
+	s.nextWb = next
+	s.wbScratch = done
 	for _, ev := range done {
 		s.completeEvent(ev)
 	}
@@ -362,6 +420,7 @@ func (s *SM) completeEvent(ev wbEvent) {
 		s.meter.Add(power.CompRFBVR, s.en.RFBVRAccess)
 		wc.meta.DecompressInPlace(int(ev.moveReg))
 		wc.pendRegs &^= 1 << ev.moveReg
+		s.unstall(ev.wi)
 		s.maybeRecycle(ev.wi)
 		return
 	}
@@ -379,7 +438,20 @@ func (s *SM) completeEvent(ev wbEvent) {
 			wc.pendPreds &^= 1 << p
 		}
 	}
+	s.unstall(ev.wi)
 	s.maybeRecycle(ev.wi)
+}
+
+// unstall clears a warp's scoreboard stall after one of its writebacks
+// lands. The next issue attempt re-evaluates the hazard, so clearing
+// conservatively (the stall may persist on another pending register) is
+// exactly equivalent to the previous re-check-every-cycle behaviour.
+func (s *SM) unstall(wi int) {
+	wc := &s.warps[wi]
+	if wc.scoreStalled {
+		wc.scoreStalled = false
+		s.markReady(wi)
+	}
 }
 
 // writebackReg applies the architecture's register-write energy and

@@ -6,6 +6,7 @@ import (
 	"gscalar/internal/asm"
 	"gscalar/internal/baseline"
 	"gscalar/internal/core"
+	"gscalar/internal/isa"
 	"gscalar/internal/kernel"
 	"gscalar/internal/mem"
 	"gscalar/internal/power"
@@ -18,8 +19,16 @@ import (
 // in cycles, on top of the per-opcode execution latency.
 const basePipeDepth = 6
 
+// NoEvent is returned by NextEventCycle when the SM is idle and places no
+// constraint on how far the chip loop may fast-forward.
+const NoEvent = ^uint64(0)
+
 // collectorEntry is one operand collector: an issued instruction gathering
-// its source operands.
+// its source operands. class/latency/occMul are copied from the program's
+// per-PC metadata at issue so dispatch never re-decodes the instruction;
+// addrBuf is the collector's resident address scratch — the warp's
+// address-generation stage writes into it via Context.AddrScratch, and it
+// stays valid until dispatch coalesces it.
 type collectorEntry struct {
 	valid       bool
 	wi          int
@@ -29,7 +38,11 @@ type collectorEntry struct {
 	isMove      bool
 	moveReg     uint8
 	predUniform bool
+	class       isa.Class
+	latency     uint16
+	occMul      uint8
 	reads       []regfile.Access
+	addrBuf     []uint32
 }
 
 // wbEvent is a scheduled completion (writeback) of a dispatched instruction.
@@ -45,13 +58,16 @@ type wbEvent struct {
 	mshrs       int // outstanding-load transactions to release
 }
 
-// ctaSlot tracks one resident CTA.
+// ctaSlot tracks one resident CTA. arrived counts its live warps currently
+// waiting at bar.sync, maintained incrementally at barrier arrival and
+// release so the per-cycle release check is a comparison, not a scan.
 type ctaSlot struct {
 	active    bool
 	ctaID     int
 	shared    []uint32
 	warpSlots []int
 	liveWarps int
+	arrived   int
 }
 
 // warpCtx bundles a warp with its per-architecture register state.
@@ -69,6 +85,24 @@ type warpCtx struct {
 	// freeWhenDrained marks a slot whose CTA finished while writebacks were
 	// still in flight; the slot is recycled once they drain.
 	freeWhenDrained bool
+	// ready mirrors "this warp might issue": valid, not done, not at a
+	// barrier, not scoreboard-stalled. The SM counts ready warps so the
+	// issue stage can be skipped entirely on stall-only cycles.
+	ready bool
+	// scoreStalled records a scoreboard (RAW/WAW) stall. A warp's hazard
+	// state depends only on its own pending registers and its static next
+	// instruction, so the stall can only clear when one of the warp's own
+	// writebacks completes — which is exactly where it is cleared.
+	scoreStalled bool
+	// regVec is w.RegVec bound once at launch, so the divergence oracle
+	// does not allocate a closure per divergent instruction.
+	regVec func(uint8) []uint32
+}
+
+// lineFill tracks one in-flight L1 line fill (see SM.fills).
+type lineFill struct {
+	line uint32
+	done uint64
 }
 
 // SM is one streaming multiprocessor.
@@ -100,18 +134,42 @@ type SM struct {
 	phased   bool
 	pending  []pendingAccess
 	storeBuf *kernel.StoreBuffer
+	// txBuf backs the deferred transactions of all pendingAccess entries of
+	// the current cycle (each holds an index range), so deferral allocates
+	// nothing in steady state.
+	txBuf []pendingTx
 
 	outstanding   int
 	regBytesInUse int
 	deadOnWrite   []bool // §3.3 compiler-assisted elision table
 	// fills tracks in-flight L1 line fills so that a second access to a
 	// line already being fetched merges into the outstanding fill (MSHR
-	// merging) instead of observing an instant hit.
-	fills            map[uint32]uint64
-	scalarBankFreeAt uint64
-	lastIssued       []int
-	liveWarps        int
-	now              uint64
+	// merging) instead of observing an instant hit. It is a small linear
+	// slice (bounded by the MSHR count once landed fills are pruned), which
+	// beats a map both in scan cost and in iteration determinism.
+	fills      []lineFill
+	lastIssued []int
+	liveWarps  int
+	now        uint64
+
+	// Incremental occupancy counters: each pipeline stage is skipped when
+	// its counter says it has no work, which is what makes stall-heavy
+	// cycles cheap and lets NextEventCycle recognise quiescence in O(1).
+	liveCollectors int  // valid operand-collector entries
+	readyWarps     int  // warps with ready set
+	barrierCheck   bool // a barrier arrival/retire may have released a CTA
+	nextWb         uint64
+	// nextWb caches min(events[i].done) (NoEvent when none) so writeback
+	// processing — and the chip loop's idle-skip target — needs no scan.
+
+	wbScratch   []wbEvent // processWritebacks reuse
+	candScratch []int     // issueFrom candidate snapshot reuse
+	coalesceBuf []uint32  // dispatchMem coalescing reuse
+
+	// schedWarps[sched] lists the valid, not-done warp slots of scheduler
+	// sched in ascending warp GlobalID order — the GTO age order — so the
+	// issue stage walks a pre-sorted list instead of sorting per cycle.
+	schedWarps [][]int
 
 	rf *regfile.File // per-cycle bank/port arbitration
 
@@ -132,17 +190,25 @@ func New(id int, cfg Config, arch Arch, en power.Energies, prog *kernel.Program,
 		msys:   msys,
 		l1:     mem.NewCache(cfg.L1Bytes, cfg.L1Assoc),
 		meter:  meter,
+		nextWb: NoEvent,
 	}
+	// Assembled programs arrive with the per-PC decode cache built; hand-
+	// constructed ones get it here. New always runs before any concurrent
+	// phase, so this is safe for the parallel loop too.
+	prog.BuildMeta()
 	s.warps = make([]warpCtx, cfg.MaxWarps)
 	s.ctas = make([]ctaSlot, cfg.MaxCTAs)
 	s.collectors = make([]collectorEntry, cfg.NumCollectors)
+	for i := range s.collectors {
+		s.collectors[i].addrBuf = make([]uint32, cfg.WarpSize)
+	}
 	s.unitBusy = make([]uint64, cfg.ALUUnits+2)
 	s.lastIssued = make([]int, cfg.Schedulers)
 	for i := range s.lastIssued {
 		s.lastIssued[i] = -1
 	}
+	s.schedWarps = make([][]int, cfg.Schedulers)
 	s.rf = regfile.New(cfg.NumBanks)
-	s.fills = make(map[uint32]uint64)
 	if arch.CompilerMoveElision && arch.RVC == RVCByteWise {
 		s.deadOnWrite = asm.DeadOnWrite(prog)
 	}
@@ -255,6 +321,10 @@ func (s *SM) LaunchCTA(ctaLinear int) {
 		case s.arch.RVC == RVCBDI:
 			wc.bdi = baseline.NewBDIRegFile(s.prog.NumRegs, s.cfg.WarpSize)
 		}
+		wc.regVec = w.RegVec
+		wc.ready = true
+		s.readyWarps++
+		s.schedInsert(wi)
 		cs.warpSlots = append(cs.warpSlots, wi)
 		s.liveWarps++
 	}
@@ -265,9 +335,82 @@ func (s *SM) Busy() bool {
 	return s.liveWarps > 0 || len(s.events) > 0
 }
 
+// NextEventCycle reports the earliest future cycle at which this SM's
+// observable state can change, for the chip loop's idle skipping. ok is
+// false when the SM must be stepped cycle by cycle: a warp is ready or an
+// operand collector is live (progress every cycle), or the SM is in an
+// error/deadlock state the cycle-by-cycle loop is responsible for
+// surfacing. Otherwise the SM is stalled waiting for writebacks — nothing
+// it does before nextWb can change any state — or fully idle, in which
+// case it returns NoEvent and places no constraint on the skip target.
+func (s *SM) NextEventCycle() (uint64, bool) {
+	if s.err != nil || s.readyWarps > 0 || s.liveCollectors > 0 {
+		return 0, false
+	}
+	if len(s.events) == 0 {
+		if s.liveWarps > 0 {
+			// Live warps but no ready work and no pending writebacks: a
+			// barrier deadlock. Refuse to skip so the loop's MaxCycles
+			// bound trips exactly as it would cycle by cycle.
+			return 0, false
+		}
+		return NoEvent, true
+	}
+	return s.nextWb, true
+}
+
 func (s *SM) fail(err error) {
 	if s.err == nil {
 		s.err = err
+	}
+}
+
+// markReady flags a warp as issuable and maintains the ready count. Warps
+// that are done or parked at a barrier stay unready; barrier release is the
+// one place a barrier warp becomes ready again.
+func (s *SM) markReady(wi int) {
+	wc := &s.warps[wi]
+	if wc.ready || !wc.valid || wc.done || wc.w.Status() != warp.StatusReady {
+		return
+	}
+	wc.ready = true
+	s.readyWarps++
+}
+
+// markUnready clears a warp's ready flag and maintains the ready count.
+func (s *SM) markUnready(wi int) {
+	wc := &s.warps[wi]
+	if wc.ready {
+		wc.ready = false
+		s.readyWarps--
+	}
+}
+
+// schedInsert adds warp slot wi to its scheduler's issue list, keeping the
+// list in ascending GlobalID (age) order.
+func (s *SM) schedInsert(wi int) {
+	sched := wi % s.cfg.Schedulers
+	list := s.schedWarps[sched]
+	gid := s.warps[wi].w.GlobalID
+	pos := len(list)
+	for pos > 0 && s.warps[list[pos-1]].w.GlobalID > gid {
+		pos--
+	}
+	list = append(list, 0)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = wi
+	s.schedWarps[sched] = list
+}
+
+// schedRemove drops warp slot wi from its scheduler's issue list.
+func (s *SM) schedRemove(wi int) {
+	sched := wi % s.cfg.Schedulers
+	list := s.schedWarps[sched]
+	for i, v := range list {
+		if v == wi {
+			s.schedWarps[sched] = append(list[:i], list[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -280,6 +423,8 @@ func (s *SM) retireWarp(wi int) {
 		return
 	}
 	wc.done = true
+	s.markUnready(wi)
+	s.schedRemove(wi)
 	s.liveWarps--
 	cs := &s.ctas[wc.ctaSlot]
 	cs.liveWarps--
@@ -293,6 +438,9 @@ func (s *SM) retireWarp(wi int) {
 		}
 		cs.active = false
 		s.regBytesInUse -= s.ctaRegBytes()
+	} else {
+		// The remaining warps may all be at the barrier now.
+		s.barrierCheck = true
 	}
 }
 
@@ -348,39 +496,44 @@ func (s *SM) DebugState() string {
 		s.ID, s.liveWarps, validW, doneW, barrierW, drainW, pend, activeCTAs, coll, len(s.events), s.outstanding)
 }
 
-// Cycle advances the SM by one core clock at time now.
+// Cycle advances the SM by one core clock at time now. Each stage runs only
+// when its occupancy counter says it has work, so a fully stalled cycle
+// costs four comparisons — which is also what lets the chip loop skip such
+// cycles wholesale (see NextEventCycle): a cycle in which every stage is
+// skipped mutates no state at all.
 func (s *SM) Cycle(now uint64) {
 	s.now = now
-	s.processWritebacks()
-	s.serveCollectors()
-	s.issue()
-	s.releaseBarriers()
+	if len(s.events) > 0 && now >= s.nextWb {
+		s.processWritebacks()
+	}
+	if s.liveCollectors > 0 {
+		s.serveCollectors()
+	}
+	if s.readyWarps > 0 {
+		s.issue()
+	}
+	if s.barrierCheck {
+		s.releaseBarriers()
+	}
 }
 
 // releaseBarriers frees CTAs whose live warps have all arrived at bar.sync.
+// It runs only on cycles flagged by a barrier arrival or a warp retirement —
+// the only transitions that can complete a barrier.
 func (s *SM) releaseBarriers() {
+	s.barrierCheck = false
 	for ci := range s.ctas {
 		cs := &s.ctas[ci]
-		if !cs.active || cs.liveWarps == 0 {
+		if !cs.active || cs.liveWarps == 0 || cs.arrived != cs.liveWarps {
 			continue
 		}
-		arrived := 0
 		for _, wi := range cs.warpSlots {
 			wc := &s.warps[wi]
-			if wc.done {
-				continue
-			}
-			if wc.w.Status() == warp.StatusBarrier {
-				arrived++
+			if !wc.done && wc.w.Status() == warp.StatusBarrier {
+				wc.w.ClearBarrier()
+				s.markReady(wi)
 			}
 		}
-		if arrived == cs.liveWarps {
-			for _, wi := range cs.warpSlots {
-				wc := &s.warps[wi]
-				if !wc.done && wc.w.Status() == warp.StatusBarrier {
-					wc.w.ClearBarrier()
-				}
-			}
-		}
+		cs.arrived = 0
 	}
 }

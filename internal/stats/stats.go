@@ -44,7 +44,11 @@ type Sim struct {
 	DRAMTransactions     uint64
 	MSHRMerges           uint64 // loads merged into an in-flight line fill
 
-	// Scheduler behaviour.
+	// Scheduler behaviour. IssueStallScoreboard counts ready→stalled
+	// transitions (a warp newly blocked on a scoreboard hazard), not
+	// stalled cycles: the issue stage parks hazard-blocked warps off the
+	// ready list and re-checks them only when a writeback clears the
+	// hazard, so there is no per-cycle re-count to accumulate.
 	IssueStallScoreboard uint64
 	IssueStallUnit       uint64
 	IssueStallOC         uint64

@@ -268,9 +268,7 @@ func (w *Warp) evalALU(ctx *Context, in *isa.Instruction, lane int) uint32 {
 func (w *Warp) execLoad(ctx *Context, in *isa.Instruction, active Mask, out *Outcome) error {
 	dst := in.Dst.Reg
 	vec := w.RegVec(dst)
-	if out.Addrs == nil {
-		out.Addrs = make([]uint32, w.Width)
-	}
+	out.Addrs = w.addrVec(ctx)
 	for lane := 0; lane < w.Width; lane++ {
 		if active&(1<<lane) == 0 {
 			continue
@@ -295,9 +293,7 @@ func (w *Warp) execLoad(ctx *Context, in *isa.Instruction, active Mask, out *Out
 }
 
 func (w *Warp) execStore(ctx *Context, in *isa.Instruction, active Mask, out *Outcome) error {
-	if out.Addrs == nil {
-		out.Addrs = make([]uint32, w.Width)
-	}
+	out.Addrs = w.addrVec(ctx)
 	for lane := 0; lane < w.Width; lane++ {
 		if active&(1<<lane) == 0 {
 			continue
@@ -319,6 +315,16 @@ func (w *Warp) execStore(ctx *Context, in *isa.Instruction, active Mask, out *Ou
 	out.IsGlobal = in.Op == isa.OpStGlobal
 	out.IsStore = true
 	return nil
+}
+
+// addrVec returns the per-lane address vector for a memory outcome: the
+// caller-provided scratch when available, a fresh allocation otherwise.
+// Inactive lanes may hold stale values; every consumer masks by Active.
+func (w *Warp) addrVec(ctx *Context) []uint32 {
+	if len(ctx.AddrScratch) >= w.Width {
+		return ctx.AddrScratch[:w.Width]
+	}
+	return make([]uint32, w.Width)
 }
 
 func loadShared(ctx *Context, addr uint32) (uint32, error) {

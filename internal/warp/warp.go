@@ -237,6 +237,12 @@ type Context struct {
 	// (phased simulation: stores are buffered during the concurrent compute
 	// phase and committed serially at end of cycle).
 	StoreBuf *kernel.StoreBuffer
+	// AddrScratch, when non-nil and at least warp-width long, backs
+	// Outcome.Addrs instead of a fresh allocation. Only lanes set in
+	// Outcome.Active are written; the caller owns the buffer's lifetime
+	// (the SM hands each operand collector's scratch to the instruction it
+	// holds, so the vector stays valid exactly until dispatch consumes it).
+	AddrScratch []uint32
 }
 
 // Outcome reports what one warp-instruction execution did; the timing model

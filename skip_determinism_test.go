@@ -1,0 +1,47 @@
+package gscalar_test
+
+import (
+	"testing"
+
+	"gscalar"
+)
+
+// runSkip simulates one (arch, workload) point with the given worker count
+// and idle-skip setting.
+func runSkip(t *testing.T, arch gscalar.Arch, abbr string, workers int, disableSkip bool) gscalar.Result {
+	t.Helper()
+	cfg := gscalar.DefaultConfig()
+	cfg.Workers = workers
+	cfg.DisableIdleSkip = disableSkip
+	res, err := gscalar.RunWorkload(cfg, arch, abbr, 1)
+	if err != nil {
+		t.Fatalf("%s on %s (workers=%d, noskip=%v): %v", abbr, arch, workers, disableSkip, err)
+	}
+	return res
+}
+
+// TestIdleSkipDeterminism is the acceptance bar for event-driven idle
+// skipping: with skipping enabled (the default) every workload must produce
+// a Result bit-identical — cycles, every statistic, and exact floating-
+// point energy/power — to a skip-disabled run, in both the legacy serial
+// loop (Workers=0) and the phased loop (Workers=8). Skipped cycles mutate
+// no state, so even transient-internal-state-derived numbers must agree.
+// In short mode a 3-workload subset runs; the full 17-workload registry
+// runs without -short (the skip-disabled serial runs are the slow part —
+// they are the very cycles skipping eliminates).
+func TestIdleSkipDeterminism(t *testing.T) {
+	workloadSet := gscalar.Workloads()
+	archSet := []gscalar.Arch{gscalar.Baseline, gscalar.GScalar}
+	if testing.Short() {
+		workloadSet = []string{"HS", "MQ", "SAD"}
+	}
+	for _, arch := range archSet {
+		for _, abbr := range workloadSet {
+			for _, workers := range []int{0, 8} {
+				skip := runSkip(t, arch, abbr, workers, false)
+				noskip := runSkip(t, arch, abbr, workers, true)
+				assertIdentical(t, abbr, arch, skip, noskip)
+			}
+		}
+	}
+}
