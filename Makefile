@@ -1,16 +1,18 @@
 # Verification targets. `make check` is the tier-1 gate (see ROADMAP.md):
-# build + full tests, vet, an explicit short-mode pass over the idle-skip
-# determinism suite (fast, and the property the event-driven core rework
-# depends on), and a race-detector pass over the packages that run
-# goroutines (the phased parallel simulation loop and the experiment
-# prewarm fan-out). The race pass uses -short because the detector slows
-# simulation ~10x; the short subset still drives the full phased loop.
+# gofmt cleanliness, build + full tests, vet, explicit short-mode passes
+# over the idle-skip determinism suite and the config-validation /
+# cancellation-determinism suites (fast, and the properties the event-driven
+# core rework and the run-session lifecycle depend on), and a race-detector
+# pass over the packages that run goroutines (the phased parallel simulation
+# loop and the experiment prewarm fan-out). The race pass uses -short
+# because the detector slows simulation ~10x; the short subset still drives
+# the full phased loop.
 
 GO ?= go
 
-.PHONY: check build test vet race skipdet bench bench-parallel
+.PHONY: check build test vet race skipdet valcancel fmt fmtcheck bench bench-parallel
 
-check: build test vet skipdet race
+check: fmtcheck build test vet skipdet valcancel race
 
 build:
 	$(GO) build ./...
@@ -21,8 +23,18 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	gofmt -w .
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 skipdet:
 	$(GO) test -short -run 'TestIdleSkipDeterminism' .
+
+valcancel:
+	$(GO) test -run 'TestConfig|TestValidate|TestNormalize|TestNewSession|TestCancel|TestDeadline' . ./internal/gpu
 
 race:
 	$(GO) test -race -short . ./internal/gpu ./internal/experiments

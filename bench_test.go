@@ -281,15 +281,23 @@ func BenchmarkAblationScalarBank(b *testing.B) {
 // it took alongside the Result.
 func timedRun(b *testing.B, abbr string, workers int, disableSkip bool) (gscalar.Result, float64) {
 	b.Helper()
-	cfg := gscalar.DefaultConfig()
-	cfg.Workers = workers
-	cfg.DisableIdleSkip = disableSkip
+	cfg := benchCfg(workers, disableSkip)
 	t0 := time.Now()
 	res, err := gscalar.RunWorkload(cfg, gscalar.GScalar, abbr, *benchScale)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return res, time.Since(t0).Seconds()
+}
+
+// benchCfg is the exact configuration a timedRun point simulates; its
+// canonical Hash is recorded in each snapshot row so a BENCH file can be
+// matched unambiguously to the configuration that produced it.
+func benchCfg(workers int, disableSkip bool) gscalar.Config {
+	cfg := gscalar.DefaultConfig()
+	cfg.Workers = workers
+	cfg.DisableIdleSkip = disableSkip
+	return cfg
 }
 
 // parallelSnapshot is one row of BENCH_parallel.json: the phased loop at a
@@ -300,6 +308,7 @@ func timedRun(b *testing.B, abbr string, workers int, disableSkip bool) (gscalar
 type parallelSnapshot struct {
 	Workload         string  `json:"workload"`
 	Arch             string  `json:"arch"`
+	ConfigHash       string  `json:"config_hash"`
 	Scale            int     `json:"scale"`
 	HostCores        int     `json:"host_cores"`
 	Workers          int     `json:"workers"`
@@ -354,6 +363,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 		snaps = append(snaps, parallelSnapshot{
 			Workload:         abbr,
 			Arch:             gscalar.GScalar.String(),
+			ConfigHash:       benchCfg(workers, false).Hash(),
 			Scale:            *benchScale,
 			HostCores:        cores,
 			Workers:          workers,
@@ -385,16 +395,17 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 // simulator-performance measurement. speedup is relative to the
 // serial-noskip baseline row of the same workload.
 type coreSnapshot struct {
-	Workload  string  `json:"workload"`
-	Arch      string  `json:"arch"`
-	Scale     int     `json:"scale"`
-	HostCores int     `json:"host_cores"`
-	Mode      string  `json:"mode"`
-	Workers   int     `json:"workers"`
-	IdleSkip  bool    `json:"idle_skip"`
-	Cycles    uint64  `json:"cycles"`
-	Seconds   float64 `json:"seconds"`
-	Speedup   float64 `json:"speedup"`
+	Workload   string  `json:"workload"`
+	Arch       string  `json:"arch"`
+	ConfigHash string  `json:"config_hash"`
+	Scale      int     `json:"scale"`
+	HostCores  int     `json:"host_cores"`
+	Mode       string  `json:"mode"`
+	Workers    int     `json:"workers"`
+	IdleSkip   bool    `json:"idle_skip"`
+	Cycles     uint64  `json:"cycles"`
+	Seconds    float64 `json:"seconds"`
+	Speedup    float64 `json:"speedup"`
 }
 
 // preReworkReference records the one measurement `make bench` cannot
@@ -452,7 +463,8 @@ func BenchmarkCoreSpeedup(b *testing.B) {
 			base, baseSec := timedRun(b, abbr, 0, true)
 			add := func(mode string, workers int, skip bool, res gscalar.Result, sec float64) {
 				snaps = append(snaps, coreSnapshot{
-					Workload: abbr, Arch: gscalar.GScalar.String(), Scale: *benchScale,
+					Workload: abbr, Arch: gscalar.GScalar.String(),
+					ConfigHash: benchCfg(workers, !skip).Hash(), Scale: *benchScale,
 					HostCores: cores, Mode: mode, Workers: workers, IdleSkip: skip,
 					Cycles: res.Cycles, Seconds: sec, Speedup: baseSec / sec,
 				})

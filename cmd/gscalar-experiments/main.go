@@ -1,17 +1,26 @@
 // Command gscalar-experiments regenerates the tables and figures of the
 // paper's evaluation section.
 //
+// The chip configuration can be loaded from a JSON file (-config); flags
+// given explicitly on the command line override the file, and -dump-config
+// prints the effective configuration with its content hash. A SIGINT — or
+// an expired -timeout — cancels the in-flight simulations at their next
+// lifecycle checkpoint (with -parallel, the whole fan-out stops).
+//
 // Usage:
 //
 //	gscalar-experiments [-exp all|fig1|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|moves]
 //	                    [-scale N] [-sms N] [-bench BP,LBM,...] [-parallel N] [-workers N]
+//	                    [-config chip.json] [-dump-config] [-timeout 10m]
 //	                    [-cpuprofile exp.pprof] [-memprofile exp.mprof]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -28,6 +37,9 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	parallel := flag.Int("parallel", 1, "simulate up to N (arch, workload) points concurrently; output is identical to -parallel 1")
 	workers := flag.Int("workers", 0, "phased-loop compute workers per simulation (0 = legacy serial loop, -1 = one per host core)")
+	configPath := flag.String("config", "", "load the chip configuration from this JSON file (explicit flags override it)")
+	dumpConfig := flag.Bool("dump-config", false, "print the effective configuration as canonical JSON (stdout) and its content hash (stderr), then exit")
+	timeout := flag.Duration("timeout", 0, "stop simulating after this wall-clock duration")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to this file")
 	flag.Parse()
@@ -39,34 +51,77 @@ func main() {
 	}
 	defer prof.Stop()
 
-	cfg := gscalar.DefaultConfig()
-	if *sms > 0 {
-		cfg.NumSMs = *sms
+	fail := func(err error) {
+		prof.Stop() // os.Exit skips the defer
+		fmt.Fprintln(os.Stderr, "gscalar-experiments:", err)
+		os.Exit(1)
 	}
-	cfg.Workers = *workers
+
+	cfg := gscalar.DefaultConfig()
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fail(err)
+		}
+		cfg, err = gscalar.ConfigFromJSON(data)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *configPath, err))
+		}
+	}
+	// Apply only the flags the user actually set, so a -config file's values
+	// are not clobbered by flag defaults.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "sms":
+			if *sms > 0 {
+				cfg.NumSMs = *sms
+			}
+		case "workers":
+			cfg.Workers = *workers
+		}
+	})
+	if *dumpConfig {
+		cfg.Normalize()
+		if err := cfg.Validate(); err != nil {
+			fail(err)
+		}
+		b, err := cfg.JSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(b))
+		fmt.Fprintln(os.Stderr, "config hash:", cfg.Hash())
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := experiments.Options{Config: cfg, Scale: *scale}
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
 	}
-	suite := experiments.NewSuite(opts)
+	suite := experiments.NewSuiteContext(ctx, opts)
 	name := strings.ToLower(*exp)
 
 	// With -parallel N the suite's simulation points run concurrently up
 	// front, filling the memoization cache; the figures below then render
 	// serially from the cache, so the printed output is byte-identical to a
-	// serial run.
+	// serial run. The fan-out is fail-fast: the first failure (or SIGINT)
+	// cancels the sibling simulations.
 	if *parallel > 1 {
-		if err := suite.Prewarm(suite.Points([]string{name}), *parallel); err != nil {
-			prof.Stop() // os.Exit skips the defer
-			fmt.Fprintln(os.Stderr, "gscalar-experiments:", err)
-			os.Exit(1)
+		if err := suite.PrewarmContext(ctx, suite.Points([]string{name}), *parallel); err != nil {
+			fail(err)
 		}
 	}
 
 	if err := run(suite, cfg, name, *csvDir); err != nil {
-		prof.Stop() // os.Exit skips the defer
-		fmt.Fprintln(os.Stderr, "gscalar-experiments:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }
 

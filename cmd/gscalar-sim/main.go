@@ -3,34 +3,38 @@
 // component shares, scalar-eligibility decomposition, RF access classes,
 // and compression statistics.
 //
+// The chip configuration can be loaded from a JSON file (-config); flags
+// given explicitly on the command line override the file. -dump-config
+// prints the effective configuration as canonical JSON (suitable to feed
+// back via -config) with its content hash. A SIGINT — or an expired
+// -timeout — stops the simulation at its next lifecycle checkpoint and the
+// partial statistics accumulated so far are still printed.
+//
 // Usage:
 //
 //	gscalar-sim -bench BP [-arch gscalar] [-scale 1] [-sms 15] [-workers N]
+//	            [-config chip.json] [-dump-config] [-timeout 30s] [-progress N]
 //	            [-noskip] [-cpuprofile sim.pprof] [-memprofile sim.mprof] [-list]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"time"
 
 	"gscalar"
 	"gscalar/internal/hostprof"
 )
 
-var archByName = map[string]gscalar.Arch{
-	"baseline":           gscalar.Baseline,
-	"alu-scalar":         gscalar.ALUScalar,
-	"warped-compression": gscalar.WarpedCompression,
-	"rvc-only":           gscalar.RVCOnly,
-	"gscalar-nodiv":      gscalar.GScalarNoDiv,
-	"gscalar":            gscalar.GScalar,
-}
-
 func main() {
 	bench := flag.String("bench", "", "benchmark abbreviation (see -list)")
-	archName := flag.String("arch", "gscalar", "architecture: baseline, alu-scalar, warped-compression, rvc-only, gscalar-nodiv, gscalar")
+	archName := flag.String("arch", "gscalar", "architecture: "+strings.Join(gscalar.ArchNames(), ", "))
 	scale := flag.Int("scale", 1, "workload scale factor")
 	sms := flag.Int("sms", 0, "override number of SMs")
 	list := flag.Bool("list", false, "list benchmarks and exit")
@@ -38,6 +42,10 @@ func main() {
 	all := flag.Bool("all", false, "run every Table 2 benchmark and print a summary table")
 	workers := flag.Int("workers", 0, "phased-loop compute workers (0 = legacy serial loop, -1 = one per host core)")
 	noskip := flag.Bool("noskip", false, "disable event-driven idle-cycle skipping (results are identical either way)")
+	configPath := flag.String("config", "", "load the chip configuration from this JSON file (explicit flags override it)")
+	dumpConfig := flag.Bool("dump-config", false, "print the effective configuration as canonical JSON (stdout) and its content hash (stderr), then exit")
+	timeout := flag.Duration("timeout", 0, "stop simulating after this wall-clock duration; partial statistics are printed")
+	progress := flag.Uint64("progress", 0, "report progress to stderr every N simulated cycles (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to this file")
 	flag.Parse()
@@ -56,29 +64,111 @@ func main() {
 		}
 		return
 	}
-	arch, ok := archByName[*archName]
-	if !ok {
-		fatal(fmt.Errorf("unknown architecture %q", *archName))
+
+	cfg, err := loadConfig(*configPath)
+	if err != nil {
+		fatal(err)
 	}
+	// Apply only the flags the user actually set, so a -config file's values
+	// are not clobbered by flag defaults.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "sms":
+			if *sms > 0 {
+				cfg.NumSMs = *sms
+			}
+		case "workers":
+			cfg.Workers = *workers
+		case "noskip":
+			cfg.DisableIdleSkip = *noskip
+		}
+	})
+	if *dumpConfig {
+		cfg.Normalize()
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+		b, err := cfg.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+		fmt.Fprintln(os.Stderr, "config hash:", cfg.Hash())
+		return
+	}
+
+	arch, ok := gscalar.ArchByName(*archName)
+	if !ok {
+		fatal(fmt.Errorf("unknown architecture %q (want one of %s)", *archName, strings.Join(gscalar.ArchNames(), ", ")))
+	}
+
+	// SIGINT (and -timeout) cancel the run at its next lifecycle checkpoint;
+	// the partial result accumulated up to that cycle is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *all {
-		runAll(arch, *scale, *sms, *workers, *noskip)
+		runAll(ctx, cfg, arch, *scale)
 		return
 	}
 	if *bench == "" {
 		fatal(fmt.Errorf("missing -bench (use -list to see options)"))
 	}
-	cfg := gscalar.DefaultConfig()
-	if *sms > 0 {
-		cfg.NumSMs = *sms
-	}
-	cfg.Workers = *workers
-	cfg.DisableIdleSkip = *noskip
-	res, err := gscalar.RunWorkload(cfg, arch, *bench, *scale)
+
+	s, err := gscalar.NewSession(cfg, arch)
 	if err != nil {
 		fatal(err)
 	}
+	if *progress > 0 {
+		s.ObserverStride = *progress
+		start := time.Now()
+		s.Observer = func(p gscalar.Progress) {
+			fmt.Fprintf(os.Stderr, "  cycle %12d  insts %12d  live SMs %2d  (%.1fs)\n",
+				p.Cycle, p.WarpInsts, p.LiveSMs, time.Since(start).Seconds())
+		}
+	}
+	res, err := s.RunWorkload(ctx, *bench, *scale)
+	if err != nil && !isCancel(err) {
+		fatal(err)
+	}
+	if isCancel(err) {
+		fmt.Fprintf(os.Stderr, "gscalar-sim: %v — printing partial statistics\n", err)
+	}
+	printResult(*bench, arch, *scale, cfg, res, *breakdown)
+	if err != nil {
+		prof.Stop()
+		os.Exit(1)
+	}
+}
 
-	fmt.Printf("%s on %s (scale %d, %d SMs)\n", *bench, arch, *scale, cfg.NumSMs)
+// loadConfig returns the default configuration, or the one decoded from the
+// JSON file at path (unknown fields rejected, invariants validated).
+func loadConfig(path string) (gscalar.Config, error) {
+	if path == "" {
+		return gscalar.DefaultConfig(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return gscalar.Config{}, err
+	}
+	cfg, err := gscalar.ConfigFromJSON(data)
+	if err != nil {
+		return gscalar.Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func printResult(bench string, arch gscalar.Arch, scale int, cfg gscalar.Config, res gscalar.Result, breakdown bool) {
+	fmt.Printf("%s on %s (scale %d, %d SMs)\n", bench, arch, scale, cfg.NumSMs)
 	fmt.Printf("  cycles           %d\n", res.Cycles)
 	fmt.Printf("  warp insts       %d (+%d injected moves, %.2f%%)\n",
 		res.WarpInsts, uint64(res.MoveOverhead*float64(res.WarpInsts)), 100*res.MoveOverhead)
@@ -97,7 +187,7 @@ func main() {
 		100*d.Scalar, 100*d.B3, 100*d.B2, 100*d.B1, 100*d.None, 100*d.Divergent)
 	fmt.Printf("  compression      %.2fx\n", res.CompressionRatio)
 	fmt.Printf("  L1 miss rate     %.1f%%; DRAM transactions %d\n", 100*res.L1MissRate, res.DRAMTransactions)
-	if *breakdown {
+	if breakdown {
 		fmt.Println("  power by component:")
 		type kv struct {
 			name string
@@ -117,24 +207,24 @@ func main() {
 	}
 }
 
-// runAll prints a one-line summary per benchmark.
-func runAll(arch gscalar.Arch, scale, sms, workers int, noskip bool) {
-	cfg := gscalar.DefaultConfig()
-	if sms > 0 {
-		cfg.NumSMs = sms
-	}
-	cfg.Workers = workers
-	cfg.DisableIdleSkip = noskip
+// runAll prints a one-line summary per benchmark. A cancellation still
+// flushes the in-flight benchmark's partial row before exiting.
+func runAll(ctx context.Context, cfg gscalar.Config, arch gscalar.Arch, scale int) {
 	fmt.Printf("%-4s %8s %10s %7s %8s %9s %8s %7s\n",
 		"sim", "cycles", "warpinsts", "IPC", "power(W)", "IPC/W", "eligible", "diverg")
 	for _, abbr := range gscalar.Workloads() {
-		res, err := gscalar.RunWorkload(cfg, arch, abbr, scale)
-		if err != nil {
+		res, err := gscalar.RunWorkloadContext(ctx, cfg, arch, abbr, scale)
+		if err != nil && !isCancel(err) {
 			fatal(err)
 		}
 		fmt.Printf("%-4s %8d %10d %7.2f %8.1f %9.5f %7.1f%% %6.1f%%\n",
 			abbr, res.Cycles, res.WarpInsts, res.IPC, res.PowerW, res.IPCPerW,
 			100*res.Eligibility.Total(), 100*res.FracDivergent)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gscalar-sim: %v — last row is partial\n", err)
+			prof.Stop()
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,10 +1,10 @@
 package gscalar
 
 import (
+	"context"
 	"io"
 
 	"gscalar/internal/asm"
-	"gscalar/internal/gpu"
 	"gscalar/internal/kernel"
 	"gscalar/internal/profile"
 	"gscalar/internal/warp"
@@ -95,21 +95,9 @@ type KernelLaunch struct {
 // RunSequence simulates a dependent sequence of kernel launches sharing the
 // given device memory (serialised by an implicit device barrier, as CUDA
 // streams would for dependent kernels). Cycles and energy accumulate across
-// the whole sequence.
+// the whole sequence. It is RunSequenceContext with a background context.
 func RunSequence(cfg Config, arch Arch, mem *Memory, seq []KernelLaunch) (Result, error) {
-	steps := make([]gpu.Step, 0, len(seq))
-	for _, kl := range seq {
-		lc, err := kl.Launch.toKernel()
-		if err != nil {
-			return Result{}, err
-		}
-		steps = append(steps, gpu.Step{Prog: kl.Prog.p, Launch: lc})
-	}
-	r, err := gpu.RunSequence(cfg.toGPU(), arch.model(), mem.m, steps)
-	if err != nil {
-		return Result{}, err
-	}
-	return resultFrom(r), nil
+	return RunSequenceContext(context.Background(), cfg, arch, mem, seq)
 }
 
 // ProfileKernel runs the launch on the functional profiler and returns an
@@ -160,37 +148,10 @@ func WorkloadByAbbr(abbr string) (WorkloadInfo, bool) {
 // RunWorkload builds Table 2 benchmark abbr at the given scale (1 = the
 // default size) and simulates it under arch. The benchmark's functional
 // output is validated against its host golden model; a validation failure
-// is returned as an error.
+// is returned as an error. It is RunWorkloadContext with a background
+// context.
 func RunWorkload(cfg Config, arch Arch, abbr string, scale int) (Result, error) {
-	w, ok := workloads.ByAbbr(abbr)
-	if !ok {
-		return Result{}, errUnknownWorkload(abbr)
-	}
-	if scale < 1 {
-		scale = 1
-	}
-	inst, err := w.Build(scale)
-	if err != nil {
-		return Result{}, err
-	}
-	r, err := runInternal(cfg, arch, inst)
-	if err != nil {
-		return Result{}, err
-	}
-	if inst.Check != nil {
-		if err := inst.Check(); err != nil {
-			return Result{}, err
-		}
-	}
-	return r, nil
-}
-
-func runInternal(cfg Config, arch Arch, inst *workloads.Instance) (Result, error) {
-	r, err := gpuRun(cfg, arch, inst)
-	if err != nil {
-		return Result{}, err
-	}
-	return r, nil
+	return RunWorkloadContext(context.Background(), cfg, arch, abbr, scale)
 }
 
 func errUnknownWorkload(abbr string) error {

@@ -21,6 +21,7 @@
 package gscalar
 
 import (
+	"context"
 	"fmt"
 
 	"gscalar/internal/core"
@@ -56,40 +57,66 @@ const (
 	GScalar
 )
 
-var archNames = [...]string{
-	"baseline", "alu-scalar", "warped-compression", "rvc-only",
-	"gscalar-nodiv", "gscalar",
+// archTable is the single registry tying each Arch to everything derived
+// from it: its short name and its SM-level architecture overlay. Adding an
+// architecture means adding exactly one entry here (plus the constant
+// above), so the name, the model, AllArchs, and ArchByName can never
+// desynchronize.
+var archTable = [...]struct {
+	name  string
+	model func() sm.Arch
+}{
+	Baseline:          {"baseline", sm.Baseline},
+	ALUScalar:         {"alu-scalar", sm.PriorScalarRF},
+	WarpedCompression: {"warped-compression", sm.WarpedCompression},
+	RVCOnly:           {"rvc-only", sm.RVCOnly},
+	GScalarNoDiv:      {"gscalar-nodiv", sm.GScalarNoDiv},
+	GScalar:           {"gscalar", sm.GScalar},
 }
 
 // String returns the architecture's short name.
 func (a Arch) String() string {
-	if int(a) < len(archNames) {
-		return archNames[a]
+	if a >= 0 && int(a) < len(archTable) {
+		return archTable[a].name
 	}
 	return fmt.Sprintf("arch(%d)", int(a))
 }
 
 // AllArchs lists every architecture in presentation order.
 func AllArchs() []Arch {
-	return []Arch{Baseline, ALUScalar, WarpedCompression, RVCOnly, GScalarNoDiv, GScalar}
+	out := make([]Arch, len(archTable))
+	for i := range archTable {
+		out[i] = Arch(i)
+	}
+	return out
+}
+
+// ArchByName resolves an architecture's short name (as produced by String),
+// for CLI flags and config files.
+func ArchByName(name string) (Arch, bool) {
+	for i := range archTable {
+		if archTable[i].name == name {
+			return Arch(i), true
+		}
+	}
+	return 0, false
+}
+
+// ArchNames lists the short names in presentation order.
+func ArchNames() []string {
+	out := make([]string, len(archTable))
+	for i := range archTable {
+		out[i] = archTable[i].name
+	}
+	return out
 }
 
 // model maps the public Arch to the SM-level architecture overlay.
 func (a Arch) model() sm.Arch {
-	switch a {
-	case ALUScalar:
-		return sm.PriorScalarRF()
-	case WarpedCompression:
-		return sm.WarpedCompression()
-	case RVCOnly:
-		return sm.RVCOnly()
-	case GScalarNoDiv:
-		return sm.GScalarNoDiv()
-	case GScalar:
-		return sm.GScalar()
-	default:
-		return sm.Baseline()
+	if a >= 0 && int(a) < len(archTable) {
+		return archTable[a].model()
 	}
+	return sm.Baseline()
 }
 
 // Config is the simulated chip configuration (Table 1 of the paper).
@@ -267,17 +294,11 @@ func resultFrom(r gpu.Result) Result {
 	return out
 }
 
-// Run simulates an assembled program under arch.
+// Run simulates an assembled program under arch. It is RunContext with a
+// background context; use a Session or the *Context variants for
+// cancellation, deadlines, and progress observation.
 func Run(cfg Config, arch Arch, prog *Program, launch Launch, mem *Memory) (Result, error) {
-	lc, err := launch.toKernel()
-	if err != nil {
-		return Result{}, err
-	}
-	r, err := gpu.Run(cfg.toGPU(), arch.model(), prog.p, lc, mem.m)
-	if err != nil {
-		return Result{}, err
-	}
-	return resultFrom(r), nil
+	return RunContext(context.Background(), cfg, arch, prog, launch, mem)
 }
 
 // kernelLaunch adapts Launch to the internal type.

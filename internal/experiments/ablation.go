@@ -34,7 +34,7 @@ func (s *Suite) runCustomArch(abbr string, arch sm.Arch) (gpu.Result, error) {
 	cfg.NumSMs = pub.NumSMs
 	cfg.CoreClockHz = pub.CoreClockHz
 	cfg.Workers = pub.Workers
-	res, err := gpu.Run(cfg, arch, inst.Prog, inst.Launch, inst.Mem)
+	res, err := gpu.RunContext(s.r.ctx, cfg, arch, inst.Prog, inst.Launch, inst.Mem)
 	if err != nil {
 		return res, err
 	}

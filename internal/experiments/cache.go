@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 
 	"gscalar"
@@ -26,18 +26,25 @@ func NewCache() *Cache { return &Cache{m: make(map[string]any)} }
 // sharedCache is the process-wide default every Suite uses.
 var sharedCache = NewCache()
 
-// configKey renders the full public chip configuration plus scale into the
-// cache key prefix. All Config fields are value types, so the rendering is
-// deterministic and any field change yields a distinct key. Workers is
-// normalised to 0 (legacy serial loop) or 1 (phased loop): every non-zero
-// worker count is bit-identical by construction, so the cache shares those
-// entries, while the two loop algorithms — which may differ in the last
-// bits of energy sums — stay separate.
+// configKey derives the cache key prefix from the configuration's canonical
+// content hash (gscalar.Config.Hash) plus the workload scale. The hash is
+// computed from the canonical JSON form — sorted keys, zero-valued fields
+// omitted — so it is stable under Config field reordering and additions,
+// and any semantically meaningful field change yields a distinct key: a
+// changed config can never be served a stale result. Workers is normalised
+// to 0 (legacy serial loop) or 1 (phased loop) before hashing: every
+// non-zero worker count is bit-identical by construction, so the cache
+// shares those entries, while the two loop algorithms — which may differ in
+// the last bits of energy sums — stay separate.
 func configKey(cfg gscalar.Config, scale int) string {
+	// Hash the normalized form: the run path normalizes before simulating,
+	// so a sparse config and its explicit equivalent are the same input and
+	// must share one entry.
+	cfg.Normalize()
 	if cfg.Workers != 0 {
 		cfg.Workers = 1
 	}
-	return fmt.Sprintf("%+v|scale=%d", cfg, scale)
+	return cfg.Hash() + "|scale=" + strconv.Itoa(scale)
 }
 
 // get returns the cached value for key, counting the hit or miss.

@@ -72,6 +72,18 @@ func TestConfigKeyInvalidation(t *testing.T) {
 	if !strings.Contains(base, "scale=1") {
 		t.Errorf("key %q lacks the scale component", base)
 	}
+	if !strings.HasPrefix(base, gscalar.DefaultConfig().Hash()) {
+		t.Errorf("key %q is not prefixed by the config content hash", base)
+	}
+
+	// The key hashes the normalized config: a sparse config denotes "Table 1
+	// with these changes" and must share the entry of its explicit form.
+	sparse := gscalar.Config{NumSMs: 7}
+	explicit := gscalar.DefaultConfig()
+	explicit.NumSMs = 7
+	if configKey(sparse, 1) != configKey(explicit, 1) {
+		t.Error("sparse config and its normalized equivalent should share a cache key")
+	}
 }
 
 func TestCacheConcurrentAccess(t *testing.T) {

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,22 +44,29 @@ func (o Options) defaults() Options {
 // configuration also reuse each other's runs. It is safe for concurrent
 // use, which is what the Prewarm fan-out relies on.
 type runner struct {
+	ctx   context.Context
 	o     Options
 	cache *Cache
 }
 
-func newRunner(o Options) *runner {
-	return &runner{o: o.defaults(), cache: sharedCache}
+func newRunner(ctx context.Context, o Options) *runner {
+	return &runner{ctx: ctx, o: o.defaults(), cache: sharedCache}
 }
 
 func (r *runner) run(arch gscalar.Arch, abbr string) (gscalar.Result, error) {
+	return r.runCtx(r.ctx, arch, abbr)
+}
+
+func (r *runner) runCtx(ctx context.Context, arch gscalar.Arch, abbr string) (gscalar.Result, error) {
 	key := fmt.Sprintf("%s|%s/%s", configKey(r.o.Config, r.o.Scale), arch, abbr)
 	if v, ok := r.cache.get(key); ok {
 		return v.(gscalar.Result), nil
 	}
-	res, err := gscalar.RunWorkload(r.o.Config, arch, abbr, r.o.Scale)
+	// The session layer already annotates escaping errors with the workload
+	// and architecture; a cancelled run's partial result is never cached.
+	res, err := gscalar.RunWorkloadContext(ctx, r.o.Config, arch, abbr, r.o.Scale)
 	if err != nil {
-		return res, fmt.Errorf("%s on %s: %w", abbr, arch, err)
+		return res, err
 	}
 	r.cache.put(key, res)
 	return res, nil
@@ -68,8 +76,17 @@ func (r *runner) run(arch gscalar.Arch, abbr string) (gscalar.Result, error) {
 // call the figure methods.
 type Suite struct{ r *runner }
 
-// NewSuite creates an experiment suite.
-func NewSuite(o Options) *Suite { return &Suite{r: newRunner(o)} }
+// NewSuite creates an experiment suite bound to the background context. Use
+// NewSuiteContext to make the suite's simulations cancellable.
+func NewSuite(o Options) *Suite { return NewSuiteContext(context.Background(), o) }
+
+// NewSuiteContext creates an experiment suite whose simulations observe ctx:
+// cancelling it aborts the in-flight run at its next lifecycle checkpoint and
+// fails any figure evaluated afterwards. Completed runs are unaffected —
+// cancellation never corrupts the shared result cache.
+func NewSuiteContext(ctx context.Context, o Options) *Suite {
+	return &Suite{r: newRunner(ctx, o)}
+}
 
 // Workloads returns the benchmark list in effect.
 func (s *Suite) Workloads() []string { return s.r.o.Workloads }
@@ -232,7 +249,7 @@ type Fig10Row struct {
 func (s *Suite) Fig10() ([]Fig10Row, error) {
 	var rows []Fig10Row
 	for _, abbr := range s.r.o.Workloads {
-		sweep, err := gscalar.RunWarpSizeSweep(s.r.o.Config, abbr, []int{32, 64}, s.r.o.Scale)
+		sweep, err := gscalar.RunWarpSizeSweepContext(s.r.ctx, s.r.o.Config, abbr, []int{32, 64}, s.r.o.Scale)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", abbr, err)
 		}

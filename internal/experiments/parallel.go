@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"sync"
 
@@ -65,19 +67,32 @@ func (s *Suite) Points(exps []string) []Point {
 	return pts
 }
 
-// Prewarm simulates the given points concurrently, at most par at a time,
-// filling the suite's result cache. Figures rendered afterwards are served
-// entirely from the cache, so their output is byte-identical to a serial
-// run — Prewarm only changes when the simulations happen, never what they
-// produce (the phased simulation loop is deterministic, and each point is
-// independent). With par <= 1 the points run serially in order.
-//
-// All points are attempted; the error returned is the first failure in
-// point order, independent of completion timing.
+// Prewarm simulates the given points under the suite's own context; see
+// PrewarmContext.
 func (s *Suite) Prewarm(points []Point, par int) error {
+	return s.PrewarmContext(s.r.ctx, points, par)
+}
+
+// PrewarmContext simulates the given points concurrently, at most par at a
+// time, filling the suite's result cache. Figures rendered afterwards are
+// served entirely from the cache, so their output is byte-identical to a
+// serial run — prewarming only changes when the simulations happen, never
+// what they produce (the phased simulation loop is deterministic, and each
+// point is independent). With par <= 1 the points run serially in order.
+//
+// The fan-out is fail-fast: the first failure — or a cancellation of ctx,
+// e.g. by a SIGINT handler — cancels the sibling runs at their next
+// lifecycle checkpoint, and points not yet started are skipped. The error
+// returned is the first genuine failure in point order; if every recorded
+// error is just the propagated cancellation, the first of those is returned.
+// Cancellation never corrupts the cache: points that completed before it
+// remain cached and reusable.
+func (s *Suite) PrewarmContext(ctx context.Context, points []Point, par int) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	if par <= 1 || len(points) <= 1 {
 		for _, p := range points {
-			if _, err := s.r.run(p.Arch, p.Abbr); err != nil {
+			if _, err := s.r.runCtx(ctx, p.Arch, p.Abbr); err != nil {
 				return err
 			}
 		}
@@ -94,7 +109,14 @@ func (s *Suite) Prewarm(points []Point, par int) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				_, errs[i] = s.r.run(points[i].Arch, points[i].Abbr)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				_, errs[i] = s.r.runCtx(ctx, points[i].Arch, points[i].Abbr)
+				if errs[i] != nil {
+					cancel()
+				}
 			}
 		}()
 	}
@@ -103,10 +125,17 @@ func (s *Suite) Prewarm(points []Point, par int) error {
 	}
 	close(idx)
 	wg.Wait()
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
 	}
-	return nil
+	return first
 }

@@ -38,7 +38,7 @@ func (s *Suite) SchedAblation() ([]SchedRow, error) {
 			cfg := gpu.DefaultConfig()
 			cfg.NumSMs = s.r.o.Config.NumSMs
 			cfg.SM.Sched = pol
-			return gpu.Run(cfg, sm.GScalar(), inst.Prog, inst.Launch, inst.Mem)
+			return gpu.RunContext(s.r.ctx, cfg, sm.GScalar(), inst.Prog, inst.Launch, inst.Mem)
 		}
 		gto, err := run(sm.SchedGTO)
 		if err != nil {

@@ -78,12 +78,12 @@ func (s *Suite) WidthSweep(bits []int) ([]WidthRow, error) {
 		cfg.NumSMs = s.r.o.Config.NumSMs
 
 		lcB, memB := build()
-		base, err := gpu.Run(cfg, sm.Baseline(), prog, lcB, memB)
+		base, err := gpu.RunContext(s.r.ctx, cfg, sm.Baseline(), prog, lcB, memB)
 		if err != nil {
 			return nil, err
 		}
 		lcR, memR := build()
-		rvc, err := gpu.Run(cfg, sm.RVCOnly(), prog, lcR, memR)
+		rvc, err := gpu.RunContext(s.r.ctx, cfg, sm.RVCOnly(), prog, lcR, memR)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,8 @@
 package gpu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"gscalar/internal/kernel"
@@ -40,6 +42,29 @@ type Config struct {
 	// skipping on or off; the flag exists for benchmarking the raw loop and
 	// for validating exactly that property.
 	DisableIdleSkip bool
+	// Observer, when non-nil, is called at lifecycle checkpoints — the
+	// cycle-commit boundaries every ObserverStride simulated cycles — with a
+	// point-in-time progress snapshot. It runs on the simulation goroutine
+	// between cycles, outside both loops' hot paths, and must not mutate
+	// simulator state; calling it changes no simulated result.
+	Observer func(Progress)
+	// ObserverStride is the number of simulated cycles between lifecycle
+	// checkpoints (observer calls and context-cancellation checks). 0 means
+	// DefaultLifecycleStride. The stride is counted in simulated cycles, so
+	// checkpoint placement — and therefore the partial result of a
+	// cancellation triggered by the observer — is deterministic.
+	ObserverStride uint64
+}
+
+// DefaultLifecycleStride is the default spacing, in simulated cycles,
+// between lifecycle checkpoints (context checks and observer calls).
+const DefaultLifecycleStride = 4096
+
+// Progress is the point-in-time snapshot passed to Config.Observer.
+type Progress struct {
+	Cycle     uint64 // current simulated cycle
+	WarpInsts uint64 // warp instructions committed chip-wide so far
+	LiveSMs   int    // SMs that still have resident work
 }
 
 // DefaultConfig returns the GTX-480-like configuration of Table 1.
@@ -65,11 +90,24 @@ type Result struct {
 	EnergyJ float64
 }
 
-// Run simulates prog with launch lc on memory gmem under arch.
+// Run simulates prog with launch lc on memory gmem under arch. It is
+// RunContext with a background context.
 func Run(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory) (Result, error) {
+	return RunContext(context.Background(), cfg, arch, prog, lc, gmem)
+}
+
+// RunContext simulates prog with launch lc on memory gmem under arch,
+// honouring ctx cancellation and deadlines. Cancellation is observed only at
+// lifecycle checkpoints (cycle-commit boundaries every ObserverStride
+// cycles), so a run that completes is bit-identical to one executed without
+// a context. A cancelled or deadline-exceeded run returns the partial Result
+// accumulated up to the checkpoint that observed the cancellation — cycles,
+// statistics, and power integrated over the simulated prefix — alongside an
+// error satisfying errors.Is(err, ctx.Err()).
+func RunContext(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory) (Result, error) {
 	var meter power.Meter
-	r, err := runWithMeter(cfg, arch, prog, lc, gmem, &meter)
-	if err != nil {
+	r, err := runWithMeter(ctx, cfg, arch, prog, lc, gmem, &meter)
+	if err != nil && !isContextErr(err) {
 		return Result{}, err
 	}
 	staticW := cfg.Energies.StaticW(cfg.NumSMs, arch.HasCodec())
@@ -84,7 +122,13 @@ func Run(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig
 	if bd.AvgPowerW > 0 {
 		res.IPCPerW = res.IPC / bd.AvgPowerW
 	}
-	return res, nil
+	return res, err
+}
+
+// isContextErr reports whether err stems from context cancellation or an
+// expired deadline — the errors that carry a well-defined partial Result.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // rawResult is a simulation outcome before power finalisation, so launch
@@ -141,20 +185,75 @@ func (cfg Config) effectiveMaxCycles() uint64 {
 // caller's meter and returns cycle/statistics totals. Config.Workers picks
 // the loop: 0 is the legacy serial loop; anything else is the phased loop,
 // whose results are bit-identical for every worker count.
-func runWithMeter(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
+func runWithMeter(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
 	if err := lc.Validate(cfg.SM.MaxWarps * cfg.SM.WarpSize); err != nil {
 		return rawResult{}, err
 	}
-	if cfg.Workers != 0 {
-		return runPhased(cfg, arch, prog, lc, gmem, meter)
+	if err := ctx.Err(); err != nil {
+		return rawResult{}, fmt.Errorf("gpu: cancelled before cycle 0: %w", err)
 	}
-	return runSerial(cfg, arch, prog, lc, gmem, meter)
+	if cfg.Workers != 0 {
+		return runPhased(ctx, cfg, arch, prog, lc, gmem, meter)
+	}
+	return runSerial(ctx, cfg, arch, prog, lc, gmem, meter)
+}
+
+// lifecycle bundles the per-run checkpoint state: the cadence at which both
+// chip loops surface cancellation and invoke the progress observer. All
+// checkpoints land on cycle-commit boundaries at deterministic simulated
+// cycles, so a cancellation triggered from the observer cuts the run at the
+// same cycle on every execution, and a run that completes is untouched.
+type lifecycle struct {
+	ctx     context.Context
+	observe func(Progress)
+	stride  uint64
+	next    uint64 // first cycle at or beyond which the next checkpoint fires
+}
+
+func newLifecycle(ctx context.Context, cfg Config) lifecycle {
+	stride := cfg.ObserverStride
+	if stride == 0 {
+		stride = DefaultLifecycleStride
+	}
+	return lifecycle{ctx: ctx, observe: cfg.Observer, stride: stride, next: stride}
+}
+
+// checkpoint fires when the commit boundary at cycle has reached the next
+// stride mark: it samples progress for the observer and reports any context
+// cancellation. Idle skipping may jump several marks at once; the checkpoint
+// then fires once and realigns to the stride grid, keeping the firing cycles
+// a pure function of the simulated cycle sequence.
+func (lf *lifecycle) checkpoint(sms []*sm.SM, cycle uint64) error {
+	if cycle < lf.next {
+		return nil
+	}
+	lf.next = cycle - cycle%lf.stride + lf.stride
+	if lf.observe != nil {
+		lf.observe(progressOf(sms, cycle))
+	}
+	if err := lf.ctx.Err(); err != nil {
+		return fmt.Errorf("gpu: cancelled at cycle %d: %w", cycle, err)
+	}
+	return nil
+}
+
+// progressOf samples chip-wide progress counters in ascending SM-id order.
+func progressOf(sms []*sm.SM, cycle uint64) Progress {
+	p := Progress{Cycle: cycle}
+	for _, s := range sms {
+		p.WarpInsts += s.Retired()
+		if s.Busy() {
+			p.LiveSMs++
+		}
+	}
+	return p
 }
 
 // runSerial is the legacy single-goroutine loop: SMs step in ascending id
 // order each cycle, touching the shared memory system and meter directly.
-func runSerial(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
+func runSerial(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
 	maxCycles := cfg.effectiveMaxCycles()
+	lf := newLifecycle(ctx, cfg)
 	msys := mem.NewSystem(cfg.MemTiming, cfg.L2Bytes)
 	sms := make([]*sm.SM, cfg.NumSMs)
 	for i := range sms {
@@ -196,6 +295,9 @@ func runSerial(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.Launch
 		}
 		if cycle >= maxCycles {
 			return rawResult{}, fmt.Errorf("gpu: exceeded %d cycles (deadlock or runaway kernel)", maxCycles)
+		}
+		if err := lf.checkpoint(sms, cycle); err != nil {
+			return finishRun(sms, cycle), err
 		}
 	}
 

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -100,8 +101,9 @@ func (p *smPool) close() {
 // state frozen at the last commit, the simulated result is a pure function
 // of (config, program, launch, memory image) — the worker count cannot
 // change a single bit of it.
-func runPhased(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
+func runPhased(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
 	maxCycles := cfg.effectiveMaxCycles()
+	lf := newLifecycle(ctx, cfg)
 	msys := mem.NewSystem(cfg.MemTiming, cfg.L2Bytes)
 	sms := make([]*sm.SM, cfg.NumSMs)
 	meters := make([]*power.Meter, cfg.NumSMs)
@@ -170,6 +172,11 @@ func runPhased(cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.Launch
 		}
 		if cycle >= maxCycles {
 			return rawResult{}, fmt.Errorf("gpu: exceeded %d cycles (deadlock or runaway kernel)", maxCycles)
+		}
+		// Lifecycle checkpoint: runs serially after the commit phase, so it
+		// reads SM state race-free, exactly like the idle-skip probe above.
+		if err := lf.checkpoint(sms, cycle); err != nil {
+			return finishRun(sms, cycle), err
 		}
 	}
 

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"gscalar/internal/kernel"
@@ -16,12 +17,20 @@ type Step struct {
 }
 
 // RunSequence simulates a dependent sequence of kernel launches sharing one
-// device memory — the way real applications run (e.g. srad's two passes, or
-// an iterative stencil). Launches are serialised by an implicit
+// device memory. It is RunSequenceContext with a background context.
+func RunSequence(cfg Config, arch sm.Arch, gmem *kernel.Memory, steps []Step) (Result, error) {
+	return RunSequenceContext(context.Background(), cfg, arch, gmem, steps)
+}
+
+// RunSequenceContext simulates a dependent sequence of kernel launches
+// sharing one device memory — the way real applications run (e.g. srad's two
+// passes, or an iterative stencil). Launches are serialised by an implicit
 // device-level barrier, cycles accumulate across launches, and energy is
 // integrated over the whole sequence, so the returned Result is directly
-// comparable to a single-launch Run.
-func RunSequence(cfg Config, arch sm.Arch, gmem *kernel.Memory, steps []Step) (Result, error) {
+// comparable to a single-launch Run. Cancelling ctx cuts the sequence at the
+// in-flight launch's next lifecycle checkpoint; the Result then aggregates
+// every completed launch plus the cancelled launch's partial prefix.
+func RunSequenceContext(ctx context.Context, cfg Config, arch sm.Arch, gmem *kernel.Memory, steps []Step) (Result, error) {
 	if len(steps) == 0 {
 		return Result{}, fmt.Errorf("gpu: empty launch sequence")
 	}
@@ -34,16 +43,21 @@ func RunSequence(cfg Config, arch sm.Arch, gmem *kernel.Memory, steps []Step) (R
 	var agg stats.Sim
 	var totalCycles uint64
 	anyCodec := arch.HasCodec()
+	var runErr error
 
 	for i, st := range steps {
 		stepCfg := cfg
 		stepCfg.MaxCycles = maxCycles - totalCycles
-		r, err := runWithMeter(stepCfg, arch, st.Prog, st.Launch, gmem, &meter)
-		if err != nil {
-			return Result{}, fmt.Errorf("gpu: launch %d (%s): %w", i, st.Prog.Name, err)
-		}
+		r, err := runWithMeter(ctx, stepCfg, arch, st.Prog, st.Launch, gmem, &meter)
 		totalCycles += r.Cycles
 		agg.Add(&r.Stats)
+		if err != nil {
+			if !isContextErr(err) {
+				return Result{}, fmt.Errorf("gpu: launch %d (%s): %w", i, st.Prog.Name, err)
+			}
+			runErr = fmt.Errorf("gpu: launch %d (%s): %w", i, st.Prog.Name, err)
+			break
+		}
 	}
 	agg.Cycles = totalCycles
 
@@ -59,5 +73,5 @@ func RunSequence(cfg Config, arch sm.Arch, gmem *kernel.Memory, steps []Step) (R
 	if bd.AvgPowerW > 0 {
 		res.IPCPerW = res.IPC / bd.AvgPowerW
 	}
-	return res, nil
+	return res, runErr
 }

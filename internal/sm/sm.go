@@ -228,6 +228,12 @@ func (s *SM) EnablePhased() {
 // Stats returns the SM's statistics accumulator.
 func (s *SM) Stats() *stats.Sim { return &s.st }
 
+// Retired returns the warp instructions this SM has committed so far. It is
+// the chip loops' progress-observer sample: a plain counter read with no
+// aggregation cost, safe to call between cycles (serially, or after the
+// phased loop's barrier) without disturbing simulation state.
+func (s *SM) Retired() uint64 { return s.st.WarpInsts }
+
 // Err returns the first simulation error encountered, if any.
 func (s *SM) Err() error { return s.err }
 

@@ -1,18 +1,11 @@
 package gscalar
 
 import (
-	"gscalar/internal/gpu"
+	"context"
+	"fmt"
+
 	"gscalar/internal/workloads"
 )
-
-// gpuRun executes a built workload instance on the timed simulator.
-func gpuRun(cfg Config, arch Arch, inst *workloads.Instance) (Result, error) {
-	r, err := gpu.Run(cfg.toGPU(), arch.model(), inst.Prog, inst.Launch, inst.Mem)
-	if err != nil {
-		return Result{}, err
-	}
-	return resultFrom(r), nil
-}
 
 // WarpSizeSweepResult is one point of the Figure 10 warp-size sweep.
 type WarpSizeSweepResult struct {
@@ -21,11 +14,19 @@ type WarpSizeSweepResult struct {
 	TotalFrac float64 // all scalar-eligible instructions
 }
 
-// RunWarpSizeSweep reproduces Figure 10: the fraction of instructions
+// RunWarpSizeSweep reproduces Figure 10 with a background context; see
+// RunWarpSizeSweepContext.
+func RunWarpSizeSweep(cfg Config, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
+	return RunWarpSizeSweepContext(context.Background(), cfg, abbr, warpSizes, scale)
+}
+
+// RunWarpSizeSweepContext reproduces Figure 10: the fraction of instructions
 // eligible for 16-thread-granularity ("half-scalar"; "quarter-scalar" at
 // warp size 64) scalar execution, for each warp size. The same workload is
 // rebuilt per point so thread counts stay constant while warps widen.
-func RunWarpSizeSweep(cfg Config, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
+// Cancelling ctx aborts the sweep at the in-flight point's next lifecycle
+// checkpoint.
+func RunWarpSizeSweepContext(ctx context.Context, cfg Config, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
 	w, ok := workloads.ByAbbr(abbr)
 	if !ok {
 		return nil, errUnknownWorkload(abbr)
@@ -40,12 +41,17 @@ func RunWarpSizeSweep(cfg Config, abbr string, warpSizes []int, scale int) ([]Wa
 			return nil, err
 		}
 		c := cfg
+		c.Normalize()
 		c.WarpSize = ws
 		// Keep resident-thread capacity constant as warps widen.
 		c.MaxWarpsPerSM = DefaultConfig().MaxWarpsPerSM * DefaultConfig().WarpSize / ws
-		r, err := gpuRun(c, GScalar, inst)
+		s, err := NewSession(c, GScalar)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("gscalar: warp-size sweep at %d: %w", ws, err)
+		}
+		r, err := s.runInstance(ctx, abbr, inst)
+		if err != nil {
+			return nil, fmt.Errorf("gscalar: warp-size sweep at %d: %w", ws, err)
 		}
 		out = append(out, WarpSizeSweepResult{
 			WarpSize:  ws,

@@ -1,0 +1,181 @@
+package gscalar
+
+import (
+	"context"
+	"fmt"
+
+	"gscalar/internal/gpu"
+	"gscalar/internal/workloads"
+)
+
+// Progress is the point-in-time snapshot passed to a Session's Observer.
+type Progress struct {
+	Cycle     uint64 // current simulated cycle
+	WarpInsts uint64 // warp instructions committed chip-wide so far
+	LiveSMs   int    // SMs that still have resident work
+}
+
+// Session is a validated run context: one (Config, Arch) pair whose
+// invariants were checked once at construction, plus the lifecycle hooks —
+// progress observation and context cancellation — shared by every run
+// started from it. The zero Session is not usable; construct with
+// NewSession.
+//
+// All run methods take a context.Context. Cancellation (and context
+// deadlines) are observed only at cycle-commit boundaries every
+// ObserverStride simulated cycles, so a run that completes is bit-identical
+// to an uncancellable one, and a cancelled run returns the partial Result
+// accumulated up to the checkpoint that saw the cancellation, alongside an
+// error satisfying errors.Is(err, context.Canceled) (or DeadlineExceeded).
+type Session struct {
+	cfg  Config
+	arch Arch
+
+	// Observer, when non-nil, receives progress snapshots at lifecycle
+	// checkpoints. It runs on the simulation goroutine and must not block
+	// for long or mutate simulator state; observing a run never changes its
+	// result. Set it before the first run.
+	Observer func(Progress)
+	// ObserverStride is the simulated-cycle spacing of lifecycle checkpoints
+	// (observer calls and cancellation checks). 0 means the gpu package's
+	// DefaultLifecycleStride. Checkpoints land at deterministic simulated
+	// cycles, which is what makes observer-triggered cancellation cut a run
+	// at the same cycle on every execution.
+	ObserverStride uint64
+}
+
+// NewSession normalizes and validates cfg and binds it to arch. It is the
+// single entry onto the validated-config path: every package-level Run*
+// helper constructs a Session internally, so an invalid configuration is
+// rejected before any simulator state is built.
+func NewSession(cfg Config, arch Arch) (*Session, error) {
+	cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, arch: arch}, nil
+}
+
+// Config returns the session's normalized, validated configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Arch returns the session's architecture.
+func (s *Session) Arch() Arch { return s.arch }
+
+// lower produces the internal chip config with the session's lifecycle
+// hooks attached. The observer lives here — not on Config — so Config stays
+// a plain serializable value (JSON round-trip, content hash).
+func (s *Session) lower() gpu.Config {
+	g := s.cfg.toGPU()
+	if s.Observer != nil {
+		obs := s.Observer
+		g.Observer = func(p gpu.Progress) { obs(Progress(p)) }
+	}
+	g.ObserverStride = s.ObserverStride
+	return g
+}
+
+// wrapErr annotates an error escaping a session run with what was running
+// and under which architecture, preserving the cause for errors.Is/As.
+func (s *Session) wrapErr(what string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("gscalar: %s on %s: %w", what, s.arch, err)
+}
+
+// Run simulates an assembled program. On cancellation the returned Result
+// holds the partial statistics accumulated so far (see Session).
+func (s *Session) Run(ctx context.Context, prog *Program, launch Launch, mem *Memory) (Result, error) {
+	lc, err := launch.toKernel()
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := gpu.RunContext(ctx, s.lower(), s.arch.model(), prog.p, lc, mem.m)
+	return resultFrom(r), s.wrapErr(prog.Name(), err)
+}
+
+// RunWorkload builds Table 2 benchmark abbr at the given scale (1 = the
+// default size) and simulates it. The benchmark's functional output is
+// validated against its host golden model; a validation failure is returned
+// as an error. A cancelled run skips that check — the output is necessarily
+// incomplete — and returns the partial Result with the cancellation error.
+func (s *Session) RunWorkload(ctx context.Context, abbr string, scale int) (Result, error) {
+	w, ok := workloads.ByAbbr(abbr)
+	if !ok {
+		return Result{}, errUnknownWorkload(abbr)
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	inst, err := w.Build(scale)
+	if err != nil {
+		return Result{}, s.wrapErr(abbr, err)
+	}
+	res, err := s.runInstance(ctx, abbr, inst)
+	if err != nil {
+		return res, err
+	}
+	if inst.Check != nil {
+		if err := inst.Check(); err != nil {
+			return Result{}, s.wrapErr(abbr, err)
+		}
+	}
+	return res, nil
+}
+
+// runInstance executes a built workload instance on the timed simulator,
+// without the golden-output check (sweeps that deliberately skip it reuse
+// this path).
+func (s *Session) runInstance(ctx context.Context, abbr string, inst *workloads.Instance) (Result, error) {
+	r, err := gpu.RunContext(ctx, s.lower(), s.arch.model(), inst.Prog, inst.Launch, inst.Mem)
+	return resultFrom(r), s.wrapErr(abbr, err)
+}
+
+// RunSequence simulates a dependent sequence of kernel launches sharing the
+// given device memory (serialised by an implicit device barrier, as CUDA
+// streams would for dependent kernels). Cycles and energy accumulate across
+// the whole sequence; a cancelled sequence returns the aggregate of every
+// completed launch plus the in-flight launch's partial prefix.
+func (s *Session) RunSequence(ctx context.Context, mem *Memory, seq []KernelLaunch) (Result, error) {
+	steps := make([]gpu.Step, 0, len(seq))
+	for _, kl := range seq {
+		lc, err := kl.Launch.toKernel()
+		if err != nil {
+			return Result{}, err
+		}
+		steps = append(steps, gpu.Step{Prog: kl.Prog.p, Launch: lc})
+	}
+	r, err := gpu.RunSequenceContext(ctx, s.lower(), s.arch.model(), mem.m, steps)
+	return resultFrom(r), s.wrapErr("sequence", err)
+}
+
+// RunContext is Run with an explicit context (see Session for the
+// cancellation contract).
+func RunContext(ctx context.Context, cfg Config, arch Arch, prog *Program, launch Launch, mem *Memory) (Result, error) {
+	s, err := NewSession(cfg, arch)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(ctx, prog, launch, mem)
+}
+
+// RunWorkloadContext is RunWorkload with an explicit context (see Session
+// for the cancellation contract).
+func RunWorkloadContext(ctx context.Context, cfg Config, arch Arch, abbr string, scale int) (Result, error) {
+	s, err := NewSession(cfg, arch)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunWorkload(ctx, abbr, scale)
+}
+
+// RunSequenceContext is RunSequence with an explicit context (see Session
+// for the cancellation contract).
+func RunSequenceContext(ctx context.Context, cfg Config, arch Arch, mem *Memory, seq []KernelLaunch) (Result, error) {
+	s, err := NewSession(cfg, arch)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunSequence(ctx, mem, seq)
+}
