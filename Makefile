@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race skipdet valcancel fmt fmtcheck bench bench-parallel
+.PHONY: check build test vet race skipdet valcancel telemetry fmt fmtcheck bench bench-parallel
 
-check: fmtcheck build test vet skipdet valcancel race
+check: fmtcheck build test vet skipdet valcancel telemetry race
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,15 @@ valcancel:
 
 race:
 	$(GO) test -race -short . ./internal/gpu ./internal/experiments
+
+# Telemetry gate: the registry/recorder unit tests, the exporter goldens
+# (JSON/CSV/Chrome-trace shape), and the telemetry-on-vs-off bit-identity
+# check. Kept as its own target so exporter-format changes are easy to
+# re-verify in isolation.
+telemetry:
+	$(GO) vet ./internal/telemetry
+	$(GO) test ./internal/telemetry
+	$(GO) test -run 'Telemetry|Metrics|ResultJSON' .
 
 # Regenerates the simulator-performance snapshots: BENCH_core.json
 # (event-driven core loop: serial-noskip baseline vs skip vs skip+workers)

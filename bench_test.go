@@ -283,7 +283,7 @@ func timedRun(b *testing.B, abbr string, workers int, disableSkip bool) (gscalar
 	b.Helper()
 	cfg := benchCfg(workers, disableSkip)
 	t0 := time.Now()
-	res, err := gscalar.RunWorkload(cfg, gscalar.GScalar, abbr, *benchScale)
+	res, err := runWorkloadVia(b, cfg, gscalar.GScalar, abbr, *benchScale)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -528,7 +528,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg := gscalar.DefaultConfig()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		res, err := gscalar.RunWorkload(cfg, gscalar.GScalar, "HS", 1)
+		res, err := runWorkloadVia(b, cfg, gscalar.GScalar, "HS", 1)
 		if err != nil {
 			b.Fatal(err)
 		}

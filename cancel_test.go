@@ -50,7 +50,7 @@ func TestCancellationDeterminism(t *testing.T) {
 	for _, workers := range []int{0, 8} {
 		cfg := gscalar.DefaultConfig()
 		cfg.Workers = workers
-		full, err := gscalar.RunWorkload(cfg, gscalar.GScalar, abbr, 1)
+		full, err := runWorkloadVia(t, cfg, gscalar.GScalar, abbr, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +79,11 @@ func TestCancellationDeterminism(t *testing.T) {
 func TestDeadlinePropagates(t *testing.T) {
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	res, err := gscalar.RunWorkloadContext(ctx, gscalar.DefaultConfig(), gscalar.GScalar, "HS", 1)
+	s, err := gscalar.NewSession(gscalar.DefaultConfig(), gscalar.GScalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunWorkload(ctx, "HS", 1)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
@@ -93,7 +97,11 @@ func TestDeadlinePropagates(t *testing.T) {
 func TestCancelledSweep(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := gscalar.RunWarpSizeSweepContext(ctx, gscalar.DefaultConfig(), "HS", []int{32, 64}, 1)
+	s, err := gscalar.NewSession(gscalar.DefaultConfig(), gscalar.GScalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.WarpSizeSweep(ctx, "HS", []int{32, 64}, 1)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

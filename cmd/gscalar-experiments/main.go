@@ -12,17 +12,26 @@
 //	gscalar-experiments [-exp all|fig1|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|moves]
 //	                    [-scale N] [-sms N] [-bench BP,LBM,...] [-parallel N] [-workers N]
 //	                    [-config chip.json] [-dump-config] [-timeout 10m]
+//	                    [-metrics-out DIR] [-metrics-format json|csv] [-trace-out DIR]
 //	                    [-cpuprofile exp.pprof] [-memprofile exp.mprof]
+//
+// With -metrics-out (and/or -trace-out) every freshly simulated
+// (architecture, workload) point additionally writes its telemetry — final
+// counters plus the sampled time series, and a Perfetto-loadable Chrome
+// trace — into the given directory as <arch>_<workload> files. Memoized
+// cache hits produce no new telemetry and therefore no files.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"gscalar"
 	"gscalar/internal/experiments"
@@ -35,6 +44,9 @@ func main() {
 	sms := flag.Int("sms", 0, "override number of SMs (0 = Table 1 value)")
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	metricsOut := flag.String("metrics-out", "", "write per-point telemetry (counters + time series) into this directory")
+	metricsFormat := flag.String("metrics-format", "json", "telemetry file format: json or csv")
+	traceOut := flag.String("trace-out", "", "write per-point Chrome trace-event files into this directory")
 	parallel := flag.Int("parallel", 1, "simulate up to N (arch, workload) points concurrently; output is identical to -parallel 1")
 	workers := flag.Int("workers", 0, "phased-loop compute workers per simulation (0 = legacy serial loop, -1 = one per host core)")
 	configPath := flag.String("config", "", "load the chip configuration from this JSON file (explicit flags override it)")
@@ -102,9 +114,26 @@ func main() {
 		defer cancel()
 	}
 
+	if *metricsFormat != "json" && *metricsFormat != "csv" {
+		fail(fmt.Errorf("unknown -metrics-format %q (want json or csv)", *metricsFormat))
+	}
+
 	opts := experiments.Options{Config: cfg, Scale: *scale}
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
+	}
+	if *metricsOut != "" || *traceOut != "" {
+		sink, err := newMetricsSink(*metricsOut, *metricsFormat, *traceOut)
+		if err != nil {
+			fail(err)
+		}
+		opts.Telemetry = gscalar.TelemetryOptions{Enabled: true}
+		opts.OnMetrics = sink.write
+		defer func() {
+			if err := sink.err(); err != nil {
+				fail(err)
+			}
+		}()
 	}
 	suite := experiments.NewSuiteContext(ctx, opts)
 	name := strings.ToLower(*exp)
@@ -123,6 +152,75 @@ func main() {
 	if err := run(suite, cfg, name, *csvDir); err != nil {
 		fail(err)
 	}
+}
+
+// metricsSink persists one telemetry file (and/or one trace file) per
+// freshly simulated experiment point. Under -parallel the suite calls
+// OnMetrics concurrently, so writes are serialised by a mutex; the first
+// write error is surfaced once the suite finishes rather than aborting the
+// sweep mid-flight.
+type metricsSink struct {
+	metricsDir, format, traceDir string
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+func newMetricsSink(metricsDir, format, traceDir string) (*metricsSink, error) {
+	for _, dir := range []string{metricsDir, traceDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &metricsSink{metricsDir: metricsDir, format: format, traceDir: traceDir}, nil
+}
+
+// write is the experiments.Options.OnMetrics hook.
+func (s *metricsSink) write(arch gscalar.Arch, abbr string, m *gscalar.Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	point := arch.String() + "_" + abbr
+	record := func(err error) {
+		if err != nil && s.firstErr == nil {
+			s.firstErr = err
+		}
+	}
+	if s.metricsDir != "" {
+		record(writeVia(filepath.Join(s.metricsDir, point+"."+s.format), func(w io.Writer) error {
+			if s.format == "csv" {
+				return m.WriteCSV(w)
+			}
+			return m.WriteJSON(w)
+		}))
+	}
+	if s.traceDir != "" {
+		record(writeVia(filepath.Join(s.traceDir, point+".trace.json"), m.WriteTrace))
+	}
+}
+
+// err returns the first write failure, if any.
+func (s *metricsSink) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+// writeVia creates path and streams emit into it.
+func writeVia(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = emit(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
 }
 
 // writeCSV writes one CSV artifact if -csv was given.

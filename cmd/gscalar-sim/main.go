@@ -14,7 +14,14 @@
 //
 //	gscalar-sim -bench BP [-arch gscalar] [-scale 1] [-sms 15] [-workers N]
 //	            [-config chip.json] [-dump-config] [-timeout 30s] [-progress N]
-//	            [-noskip] [-cpuprofile sim.pprof] [-memprofile sim.mprof] [-list]
+//	            [-metrics-out m.json] [-metrics-format json|csv] [-trace-out t.json]
+//	            [-sample-stride N] [-noskip] [-cpuprofile sim.pprof]
+//	            [-memprofile sim.mprof] [-list]
+//
+// With -metrics-out the run's final counters and sampled time series are
+// written as JSON (or CSV with -metrics-format csv); -trace-out emits a
+// Chrome trace-event file of per-SM activity, loadable in Perfetto. Both
+// compose with -all, which bundles every benchmark into one file.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -46,9 +54,22 @@ func main() {
 	dumpConfig := flag.Bool("dump-config", false, "print the effective configuration as canonical JSON (stdout) and its content hash (stderr), then exit")
 	timeout := flag.Duration("timeout", 0, "stop simulating after this wall-clock duration; partial statistics are printed")
 	progress := flag.Uint64("progress", 0, "report progress to stderr every N simulated cycles (0 = off)")
+	metricsOut := flag.String("metrics-out", "", "write final counters and the sampled time series to this file")
+	metricsFormat := flag.String("metrics-format", "json", "metrics file format: json or csv")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) to this file")
+	sampleStride := flag.Uint64("sample-stride", 0, "simulated cycles between telemetry samples (0 = lifecycle checkpoint stride)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to this file")
 	flag.Parse()
+
+	if *metricsFormat != "json" && *metricsFormat != "csv" {
+		fmt.Fprintf(os.Stderr, "gscalar-sim: unknown -metrics-format %q (want json or csv)\n", *metricsFormat)
+		os.Exit(1)
+	}
+	telemetry := gscalar.TelemetryOptions{
+		Enabled:      *metricsOut != "" || *traceOut != "",
+		SampleStride: *sampleStride,
+	}
 
 	var err error
 	prof, err = hostprof.Start(*cpuprofile, *memprofile)
@@ -113,7 +134,7 @@ func main() {
 	}
 
 	if *all {
-		runAll(ctx, cfg, arch, *scale)
+		runAll(ctx, cfg, arch, *scale, telemetry, *metricsOut, *metricsFormat, *traceOut)
 		return
 	}
 	if *bench == "" {
@@ -124,6 +145,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	s.Telemetry = telemetry
 	if *progress > 0 {
 		s.ObserverStride = *progress
 		start := time.Now()
@@ -140,10 +162,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gscalar-sim: %v — printing partial statistics\n", err)
 	}
 	printResult(*bench, arch, *scale, cfg, res, *breakdown)
+	// A cancelled run still flushes the partial series collected so far.
+	if m := s.Metrics(); m != nil {
+		if werr := writeTelemetry(gscalar.MetricsSet{m}, *metricsOut, *metricsFormat, *traceOut); werr != nil {
+			fatal(werr)
+		}
+	}
 	if err != nil {
 		prof.Stop()
 		os.Exit(1)
 	}
+}
+
+// writeTelemetry writes the collected metrics and trace artifacts for the
+// flags that were given. A single-run set exports as one JSON object; a
+// multi-run set (from -all) as {"runs": [...]}.
+func writeTelemetry(set gscalar.MetricsSet, metricsOut, format, traceOut string) error {
+	if len(set) == 0 {
+		return nil
+	}
+	write := func(path string, emit func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = emit(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return nil
+	}
+	if err := write(metricsOut, func(w io.Writer) error {
+		if format == "csv" {
+			return set.WriteCSV(w)
+		}
+		if len(set) == 1 {
+			return set[0].WriteJSON(w)
+		}
+		return set.WriteJSON(w)
+	}); err != nil {
+		return err
+	}
+	return write(traceOut, set.WriteTrace)
 }
 
 // loadConfig returns the default configuration, or the one decoded from the
@@ -207,25 +273,44 @@ func printResult(bench string, arch gscalar.Arch, scale int, cfg gscalar.Config,
 	}
 }
 
-// runAll prints a one-line summary per benchmark. A cancellation still
-// flushes the in-flight benchmark's partial row before exiting.
-func runAll(ctx context.Context, cfg gscalar.Config, arch gscalar.Arch, scale int) {
+// runAll prints a one-line summary per benchmark, running every workload
+// through one shared Session so telemetry accumulates into a single set. A
+// cancellation still flushes the in-flight benchmark's partial row — and the
+// partial telemetry — before exiting.
+func runAll(ctx context.Context, cfg gscalar.Config, arch gscalar.Arch, scale int,
+	tel gscalar.TelemetryOptions, metricsOut, metricsFormat, traceOut string) {
+	s, err := gscalar.NewSession(cfg, arch)
+	if err != nil {
+		fatal(err)
+	}
+	s.Telemetry = tel
+	var set gscalar.MetricsSet
+	flush := func() {
+		if werr := writeTelemetry(set, metricsOut, metricsFormat, traceOut); werr != nil {
+			fatal(werr)
+		}
+	}
 	fmt.Printf("%-4s %8s %10s %7s %8s %9s %8s %7s\n",
 		"sim", "cycles", "warpinsts", "IPC", "power(W)", "IPC/W", "eligible", "diverg")
 	for _, abbr := range gscalar.Workloads() {
-		res, err := gscalar.RunWorkloadContext(ctx, cfg, arch, abbr, scale)
+		res, err := s.RunWorkload(ctx, abbr, scale)
 		if err != nil && !isCancel(err) {
 			fatal(err)
+		}
+		if m := s.Metrics(); m != nil {
+			set = append(set, m)
 		}
 		fmt.Printf("%-4s %8d %10d %7.2f %8.1f %9.5f %7.1f%% %6.1f%%\n",
 			abbr, res.Cycles, res.WarpInsts, res.IPC, res.PowerW, res.IPCPerW,
 			100*res.Eligibility.Total(), 100*res.FracDivergent)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gscalar-sim: %v — last row is partial\n", err)
+			flush()
 			prof.Stop()
 			os.Exit(1)
 		}
 	}
+	flush()
 }
 
 // prof is stopped on every exit path; fatal must flush it because os.Exit

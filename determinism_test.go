@@ -1,18 +1,32 @@
 package gscalar_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
 	"gscalar"
 )
 
+// runWorkloadVia simulates one workload through a fresh Session — the
+// supported entry path now that the context-less free functions are
+// deprecated shims. Shared by the determinism, idle-skip, cancellation and
+// benchmark tests of this package.
+func runWorkloadVia(t testing.TB, cfg gscalar.Config, arch gscalar.Arch, abbr string, scale int) (gscalar.Result, error) {
+	t.Helper()
+	s, err := gscalar.NewSession(cfg, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.RunWorkload(context.Background(), abbr, scale)
+}
+
 // runDet simulates one (arch, workload) point with the given worker count.
 func runDet(t *testing.T, arch gscalar.Arch, abbr string, workers int) gscalar.Result {
 	t.Helper()
 	cfg := gscalar.DefaultConfig()
 	cfg.Workers = workers
-	res, err := gscalar.RunWorkload(cfg, arch, abbr, 1)
+	res, err := runWorkloadVia(t, cfg, arch, abbr, 1)
 	if err != nil {
 		t.Fatalf("%s on %s (workers=%d): %v", abbr, arch, workers, err)
 	}

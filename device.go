@@ -53,7 +53,13 @@ type Memory struct {
 // NewMemory creates an empty device memory with a bump allocator.
 func NewMemory() *Memory { return &Memory{m: kernel.NewMemory()} }
 
-// Alloc reserves n bytes and returns the device address.
+// AddrSpaceError is the typed panic value raised when an allocation or a
+// bulk read/write would exceed the 32-bit device address space (it used to
+// wrap around silently).
+type AddrSpaceError = kernel.AddrSpaceError
+
+// Alloc reserves n bytes and returns the device address. It panics with a
+// *AddrSpaceError when the 32-bit address space is exhausted.
 func (m *Memory) Alloc(n int) uint32 { return m.m.Alloc(n) }
 
 // AllocU32 allocates and fills a word buffer.
@@ -94,8 +100,11 @@ type KernelLaunch struct {
 
 // RunSequence simulates a dependent sequence of kernel launches sharing the
 // given device memory (serialised by an implicit device barrier, as CUDA
-// streams would for dependent kernels). Cycles and energy accumulate across
-// the whole sequence. It is RunSequenceContext with a background context.
+// streams would for dependent kernels) with a background context.
+//
+// Deprecated: construct a Session with NewSession and call
+// Session.RunSequence, which adds cancellation, progress observation, and
+// telemetry; this wrapper delegates to the same path (see runVia).
 func RunSequence(cfg Config, arch Arch, mem *Memory, seq []KernelLaunch) (Result, error) {
 	return RunSequenceContext(context.Background(), cfg, arch, mem, seq)
 }
@@ -146,10 +155,13 @@ func WorkloadByAbbr(abbr string) (WorkloadInfo, bool) {
 }
 
 // RunWorkload builds Table 2 benchmark abbr at the given scale (1 = the
-// default size) and simulates it under arch. The benchmark's functional
-// output is validated against its host golden model; a validation failure
-// is returned as an error. It is RunWorkloadContext with a background
-// context.
+// default size) and simulates it under arch, with a background context. The
+// benchmark's functional output is validated against its host golden model;
+// a validation failure is returned as an error.
+//
+// Deprecated: construct a Session with NewSession and call
+// Session.RunWorkload, which adds cancellation, progress observation, and
+// telemetry; this wrapper delegates to the same path (see runVia).
 func RunWorkload(cfg Config, arch Arch, abbr string, scale int) (Result, error) {
 	return RunWorkloadContext(context.Background(), cfg, arch, abbr, scale)
 }

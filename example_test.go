@@ -1,6 +1,7 @@
 package gscalar_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -8,19 +9,23 @@ import (
 	"gscalar"
 )
 
-// ExampleRunWorkload compares the baseline and G-Scalar architectures on a
-// Table 2 benchmark. (Unverified output: absolute numbers depend on the
-// power calibration.)
-func ExampleRunWorkload() {
+// ExampleSession_RunWorkload compares the baseline and G-Scalar
+// architectures on a Table 2 benchmark. (Unverified output: absolute
+// numbers depend on the power calibration.)
+func ExampleSession_RunWorkload() {
 	cfg := gscalar.DefaultConfig()
-	base, err := gscalar.RunWorkload(cfg, gscalar.Baseline, "HS", 1)
-	if err != nil {
-		log.Fatal(err)
+	run := func(arch gscalar.Arch) gscalar.Result {
+		s, err := gscalar.NewSession(cfg, arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.RunWorkload(context.Background(), "HS", 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
-	gs, err := gscalar.RunWorkload(cfg, gscalar.GScalar, "HS", 1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	base, gs := run(gscalar.Baseline), run(gscalar.GScalar)
 	fmt.Printf("power efficiency: %.2fx\n", gs.IPCPerW/base.IPCPerW)
 	fmt.Printf("scalar-eligible:  %.0f%%\n", 100*gs.Eligibility.Total())
 }

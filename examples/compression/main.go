@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -88,7 +89,11 @@ LOOP:
 			GridX: n / 256, BlockX: 256,
 			Params: []uint32{vb, 3, out},
 		}
-		res, err := gscalar.Run(cfg, arch, prog, launch, mem)
+		s, err := gscalar.NewSession(cfg, arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(context.Background(), prog, launch, mem)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -61,7 +62,11 @@ func main() {
 			GridX: n / 256, BlockX: 256,
 			Params: []uint32{vb, math.Float32bits(1.0), math.Float32bits(3.0)},
 		}
-		res, err := gscalar.Run(cfg, arch, prog, launch, mem)
+		s, err := gscalar.NewSession(cfg, arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(context.Background(), prog, launch, mem)
 		if err != nil {
 			log.Fatal(err)
 		}

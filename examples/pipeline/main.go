@@ -1,10 +1,11 @@
 // Pipeline: a two-pass application (the shape of SRAD's coefficient +
 // update kernels) run as a dependent kernel sequence over shared device
-// memory with RunSequence — cycles and energy accumulate across launches,
-// so architectures are compared on the whole application.
+// memory with Session.RunSequence — cycles and energy accumulate across
+// launches, so architectures are compared on the whole application.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -83,7 +84,11 @@ func main() {
 	var base float64
 	for _, arch := range []gscalar.Arch{gscalar.Baseline, gscalar.ALUScalar, gscalar.GScalar} {
 		mem, seq := build()
-		res, err := gscalar.RunSequence(cfg, arch, mem, seq)
+		s, err := gscalar.NewSession(cfg, arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.RunSequence(context.Background(), mem, seq)
 		if err != nil {
 			log.Fatal(err)
 		}

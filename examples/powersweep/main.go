@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +26,11 @@ func main() {
 	fmt.Println("architecture        IPC     power(W)  IPC/W    vs base  eligible")
 	var base float64
 	for _, arch := range gscalar.AllArchs() {
-		res, err := gscalar.RunWorkload(cfg, arch, *bench, 1)
+		s, err := gscalar.NewSession(cfg, arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.RunWorkload(context.Background(), *bench, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,7 +43,11 @@ func main() {
 	}
 
 	fmt.Println("\nwarp-size sweep (16-thread checking granularity, Figure 10):")
-	sweep, err := gscalar.RunWarpSizeSweep(cfg, *bench, []int{32, 64}, 1)
+	gs, err := gscalar.NewSession(cfg, gscalar.GScalar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep, err := gs.WarpSizeSweep(context.Background(), *bench, []int{32, 64}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

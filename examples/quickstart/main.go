@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -90,7 +91,11 @@ func main() {
 	var base gscalar.Result
 	for _, arch := range []gscalar.Arch{gscalar.Baseline, gscalar.GScalar} {
 		mem, launch := build()
-		res, err := gscalar.Run(cfg, arch, prog, launch, mem)
+		s, err := gscalar.NewSession(cfg, arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(context.Background(), prog, launch, mem)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,11 +13,20 @@
 // Quick start:
 //
 //	cfg := gscalar.DefaultConfig()
-//	res, err := gscalar.RunWorkload(cfg, gscalar.GScalar, "BP", 1)
+//	s, err := gscalar.NewSession(cfg, gscalar.GScalar)
+//	res, err := s.RunWorkload(ctx, "BP", 1)
 //	fmt.Printf("IPC/W improvement: %.2fx\n", res.IPCPerW/base.IPCPerW)
 //
+// A Session is the single entry point: it validates the (config,
+// architecture) pair once and carries the run-scoped options — progress
+// observation (Observer), metric collection (Telemetry, exported through
+// Metrics as JSON, CSV, or a Chrome trace), and context cancellation. The
+// context-less free functions (Run, RunWorkload, RunSequence, ...) are
+// deprecated shims over the same path.
+//
 // Custom kernels are written in .gasm assembly (see package documentation
-// of internal/asm for the grammar) and run via Assemble / NewMemory / Run.
+// of internal/asm for the grammar) and run via Assemble / NewMemory /
+// Session.Run.
 package gscalar
 
 import (
@@ -195,11 +204,11 @@ func (c Config) toGPU() gpu.Config {
 // Eligibility is the Figure 9 decomposition: fractions of committed
 // instructions eligible for each kind of scalar execution.
 type Eligibility struct {
-	ALU       float64 // non-divergent arithmetic/logic ("ALU scalar")
-	SFU       float64 // special-function, atop ALU scalar
-	Mem       float64 // memory, atop ALU scalar
-	Half      float64 // half-warp scalar (§4.3)
-	Divergent float64 // divergent scalar (§4.2)
+	ALU       float64 `json:"alu"`       // non-divergent arithmetic/logic ("ALU scalar")
+	SFU       float64 `json:"sfu"`       // special-function, atop ALU scalar
+	Mem       float64 `json:"mem"`       // memory, atop ALU scalar
+	Half      float64 `json:"half"`      // half-warp scalar (§4.3)
+	Divergent float64 `json:"divergent"` // divergent scalar (§4.2)
 }
 
 // Total returns the overall scalar-eligible fraction.
@@ -207,36 +216,44 @@ func (e Eligibility) Total() float64 { return e.ALU + e.SFU + e.Mem + e.Half + e
 
 // RFAccessDist is the Figure 8 register-file read-class distribution.
 type RFAccessDist struct {
-	Scalar, B3, B2, B1, None, Divergent float64
+	Scalar    float64 `json:"scalar"`
+	B3        float64 `json:"b3"`
+	B2        float64 `json:"b2"`
+	B1        float64 `json:"b1"`
+	None      float64 `json:"none"`
+	Divergent float64 `json:"divergent"`
 }
 
-// Result summarises one simulated launch.
+// Result summarises one simulated launch. The JSON struct tags are a stable
+// serialization contract shared by the telemetry exporters and the CLIs'
+// machine-readable output; fields may be added, but existing tags do not
+// change.
 type Result struct {
-	Cycles      uint64
-	WarpInsts   uint64
-	ThreadInsts uint64
-	IPC         float64 // warp instructions per cycle, chip-wide
-	PowerW      float64
-	IPCPerW     float64 // the paper's power-efficiency metric
-	EnergyJ     float64
+	Cycles      uint64  `json:"cycles"`
+	WarpInsts   uint64  `json:"warp_insts"`
+	ThreadInsts uint64  `json:"thread_insts"`
+	IPC         float64 `json:"ipc"` // warp instructions per cycle, chip-wide
+	PowerW      float64 `json:"power_w"`
+	IPCPerW     float64 `json:"ipc_per_w"` // the paper's power-efficiency metric
+	EnergyJ     float64 `json:"energy_j"`
 
-	ExecPowerShare float64 // execution-unit share of chip power
-	RFPowerShare   float64 // register-file aggregate share of chip power
-	RFDynamicJ     float64 // RF dynamic energy (Figure 12's metric)
+	ExecPowerShare float64 `json:"exec_power_share"` // execution-unit share of chip power
+	RFPowerShare   float64 `json:"rf_power_share"`   // register-file aggregate share of chip power
+	RFDynamicJ     float64 `json:"rf_dynamic_j"`     // RF dynamic energy (Figure 12's metric)
 
-	FracDivergent       float64 // Figure 1: divergent instructions / total
-	FracDivergentScalar float64 // Figure 1: value-uniform divergent / total
-	Eligibility         Eligibility
-	RFAccess            RFAccessDist
-	CompressionRatio    float64
-	MoveOverhead        float64 // §3.3 injected decompress moves / total
+	FracDivergent       float64      `json:"frac_divergent"`        // Figure 1: divergent instructions / total
+	FracDivergentScalar float64      `json:"frac_divergent_scalar"` // Figure 1: value-uniform divergent / total
+	Eligibility         Eligibility  `json:"eligibility"`
+	RFAccess            RFAccessDist `json:"rf_access"`
+	CompressionRatio    float64      `json:"compression_ratio"`
+	MoveOverhead        float64      `json:"move_overhead"` // §3.3 injected decompress moves / total
 
-	L1MissRate       float64
-	DRAMTransactions uint64
+	L1MissRate       float64 `json:"l1_miss_rate"`
+	DRAMTransactions uint64  `json:"dram_transactions"`
 
 	// PowerByComponent maps component names ("exec_alu", "rf_array",
 	// "dram", "static", ...) to watts.
-	PowerByComponent map[string]float64
+	PowerByComponent map[string]float64 `json:"power_by_component"`
 }
 
 // resultFrom converts an internal run result.
@@ -294,9 +311,11 @@ func resultFrom(r gpu.Result) Result {
 	return out
 }
 
-// Run simulates an assembled program under arch. It is RunContext with a
-// background context; use a Session or the *Context variants for
-// cancellation, deadlines, and progress observation.
+// Run simulates an assembled program under arch with a background context.
+//
+// Deprecated: construct a Session with NewSession and call Session.Run,
+// which adds cancellation, progress observation, and telemetry; this
+// wrapper delegates to the same path (see runVia).
 func Run(cfg Config, arch Arch, prog *Program, launch Launch, mem *Memory) (Result, error) {
 	return RunContext(context.Background(), cfg, arch, prog, launch, mem)
 }

@@ -21,6 +21,18 @@ type Options struct {
 	Config    gscalar.Config
 	Scale     int      // workload scale factor (1 = default)
 	Workloads []string // default: all of Table 2
+
+	// Telemetry enables per-run metric collection on every simulation the
+	// suite performs. It lives off-Config (like a Session's), so enabling it
+	// changes neither the memoization cache key nor any figure's numbers.
+	Telemetry gscalar.TelemetryOptions
+	// OnMetrics, when non-nil and Telemetry.Enabled, receives the collected
+	// metrics of each freshly simulated (arch, workload) point, so the suite
+	// can persist per-figure telemetry alongside its memoization cache.
+	// Cache hits do not refire it (their run produced no new telemetry).
+	// Under the parallel prewarm fan-out it is called concurrently and must
+	// be safe for that.
+	OnMetrics func(arch gscalar.Arch, abbr string, m *gscalar.Metrics)
 }
 
 // Defaults fills unset fields.
@@ -62,11 +74,23 @@ func (r *runner) runCtx(ctx context.Context, arch gscalar.Arch, abbr string) (gs
 	if v, ok := r.cache.get(key); ok {
 		return v.(gscalar.Result), nil
 	}
-	// The session layer already annotates escaping errors with the workload
-	// and architecture; a cancelled run's partial result is never cached.
-	res, err := gscalar.RunWorkloadContext(ctx, r.o.Config, arch, abbr, r.o.Scale)
+	// One Session per fresh point: the prewarm fan-out runs points
+	// concurrently, and a session's telemetry is per-run state. The session
+	// layer annotates escaping errors with the workload and architecture; a
+	// cancelled run's partial result is never cached.
+	s, err := gscalar.NewSession(r.o.Config, arch)
+	if err != nil {
+		return gscalar.Result{}, err
+	}
+	s.Telemetry = r.o.Telemetry
+	res, err := s.RunWorkload(ctx, abbr, r.o.Scale)
 	if err != nil {
 		return res, err
+	}
+	if r.o.OnMetrics != nil {
+		if m := s.Metrics(); m != nil {
+			r.o.OnMetrics(arch, abbr, m)
+		}
 	}
 	r.cache.put(key, res)
 	return res, nil
@@ -247,9 +271,13 @@ type Fig10Row struct {
 
 // Fig10 sweeps warp size {32, 64} with the 16-thread checking granularity.
 func (s *Suite) Fig10() ([]Fig10Row, error) {
+	sess, err := gscalar.NewSession(s.r.o.Config, gscalar.GScalar)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig10Row
 	for _, abbr := range s.r.o.Workloads {
-		sweep, err := gscalar.RunWarpSizeSweepContext(s.r.ctx, s.r.o.Config, abbr, []int{32, 64}, s.r.o.Scale)
+		sweep, err := sess.WarpSizeSweep(s.r.ctx, abbr, []int{32, 64}, s.r.o.Scale)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", abbr, err)
 		}

@@ -14,6 +14,7 @@ import (
 	"gscalar/internal/power"
 	"gscalar/internal/sm"
 	"gscalar/internal/stats"
+	"gscalar/internal/telemetry"
 )
 
 // Config is the chip-level configuration (Table 1).
@@ -54,6 +55,12 @@ type Config struct {
 	// checkpoint placement — and therefore the partial result of a
 	// cancellation triggered by the observer — is deterministic.
 	ObserverStride uint64
+	// Telemetry, when non-nil, collects this run's metrics: every layer
+	// registers its counters/gauges at launch construction and the recorder
+	// samples a time series at lifecycle checkpoints. All reads happen
+	// serially between cycles and mutate no simulator state, so a run with
+	// telemetry attached is bit-identical to one without.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultLifecycleStride is the default spacing, in simulated cycles,
@@ -112,6 +119,10 @@ func RunContext(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Prog
 	}
 	staticW := cfg.Energies.StaticW(cfg.NumSMs, arch.HasCodec())
 	bd := meter.Finish(r.Cycles, cfg.CoreClockHz, staticW)
+	// Finalize after Finish so the power gauges capture the static bucket.
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Finalize()
+	}
 	res := Result{
 		Cycles:  r.Cycles,
 		Stats:   r.Stats,
@@ -208,14 +219,27 @@ type lifecycle struct {
 	observe func(Progress)
 	stride  uint64
 	next    uint64 // first cycle at or beyond which the next checkpoint fires
+
+	// Telemetry sampling rides the same commit-boundary cadence on its own
+	// deterministic stride grid, so sample placement is a pure function of
+	// the simulated cycle sequence too.
+	sampler      *chipSampler
+	sampleStride uint64
+	nextSample   uint64
 }
 
-func newLifecycle(ctx context.Context, cfg Config) lifecycle {
+func newLifecycle(ctx context.Context, cfg Config, cs *chipSampler) lifecycle {
 	stride := cfg.ObserverStride
 	if stride == 0 {
 		stride = DefaultLifecycleStride
 	}
-	return lifecycle{ctx: ctx, observe: cfg.Observer, stride: stride, next: stride}
+	lf := lifecycle{ctx: ctx, observe: cfg.Observer, stride: stride, next: stride}
+	if cs != nil {
+		lf.sampler = cs
+		lf.sampleStride = cs.stride
+		lf.nextSample = cs.stride
+	}
+	return lf
 }
 
 // checkpoint fires when the commit boundary at cycle has reached the next
@@ -224,6 +248,10 @@ func newLifecycle(ctx context.Context, cfg Config) lifecycle {
 // then fires once and realigns to the stride grid, keeping the firing cycles
 // a pure function of the simulated cycle sequence.
 func (lf *lifecycle) checkpoint(sms []*sm.SM, cycle uint64) error {
+	if lf.sampler != nil && cycle >= lf.nextSample {
+		lf.nextSample = cycle - cycle%lf.sampleStride + lf.sampleStride
+		lf.sampler.sample(cycle)
+	}
 	if cycle < lf.next {
 		return nil
 	}
@@ -235,6 +263,15 @@ func (lf *lifecycle) checkpoint(sms []*sm.SM, cycle uint64) error {
 		return fmt.Errorf("gpu: cancelled at cycle %d: %w", cycle, err)
 	}
 	return nil
+}
+
+// finalSample records the closing time-series point of a launch (normal
+// completion or cancellation cut). The recorder drops it if the last
+// checkpoint already sampled this cycle.
+func (lf *lifecycle) finalSample(cycle uint64) {
+	if lf.sampler != nil {
+		lf.sampler.sample(cycle)
+	}
 }
 
 // progressOf samples chip-wide progress counters in ascending SM-id order.
@@ -253,12 +290,13 @@ func progressOf(sms []*sm.SM, cycle uint64) Progress {
 // order each cycle, touching the shared memory system and meter directly.
 func runSerial(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
 	maxCycles := cfg.effectiveMaxCycles()
-	lf := newLifecycle(ctx, cfg)
 	msys := mem.NewSystem(cfg.MemTiming, cfg.L2Bytes)
 	sms := make([]*sm.SM, cfg.NumSMs)
 	for i := range sms {
 		sms[i] = sm.New(i, cfg.SM, arch, cfg.Energies, prog, lc, gmem, msys, meter)
 	}
+	tel := bindTelemetry(cfg, sms, []*power.Meter{meter}, meter, msys)
+	lf := newLifecycle(ctx, cfg, tel)
 
 	disp := ctaDispatcher{total: lc.Grid.Count()}
 	var cycle uint64
@@ -297,10 +335,12 @@ func runSerial(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Progr
 			return rawResult{}, fmt.Errorf("gpu: exceeded %d cycles (deadlock or runaway kernel)", maxCycles)
 		}
 		if err := lf.checkpoint(sms, cycle); err != nil {
+			lf.finalSample(cycle)
 			return finishRun(sms, cycle), err
 		}
 	}
 
+	lf.finalSample(cycle)
 	return finishRun(sms, cycle), nil
 }
 

@@ -103,7 +103,6 @@ func (p *smPool) close() {
 // change a single bit of it.
 func runPhased(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
 	maxCycles := cfg.effectiveMaxCycles()
-	lf := newLifecycle(ctx, cfg)
 	msys := mem.NewSystem(cfg.MemTiming, cfg.L2Bytes)
 	sms := make([]*sm.SM, cfg.NumSMs)
 	meters := make([]*power.Meter, cfg.NumSMs)
@@ -112,6 +111,11 @@ func runPhased(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Progr
 		sms[i] = sm.New(i, cfg.SM, arch, cfg.Energies, prog, lc, gmem, msys, meters[i])
 		sms[i].EnablePhased()
 	}
+	// Final counter gauges register on the caller's meter (which the per-SM
+	// meters merge into on exit); mid-run energy samples sum the live per-SM
+	// meters plus the caller's, which carries earlier launches of a sequence.
+	tel := bindTelemetry(cfg, sms, append(append([]*power.Meter{}, meters...), meter), meter, msys)
+	lf := newLifecycle(ctx, cfg, tel)
 	// Merge the per-SM meters in ascending id order on every exit path so
 	// launch sequences keep accumulating energy across launches.
 	defer func() {
@@ -176,9 +180,11 @@ func runPhased(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Progr
 		// Lifecycle checkpoint: runs serially after the commit phase, so it
 		// reads SM state race-free, exactly like the idle-skip probe above.
 		if err := lf.checkpoint(sms, cycle); err != nil {
+			lf.finalSample(cycle)
 			return finishRun(sms, cycle), err
 		}
 	}
 
+	lf.finalSample(cycle)
 	return finishRun(sms, cycle), nil
 }

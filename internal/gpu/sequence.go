@@ -48,6 +48,11 @@ func RunSequenceContext(ctx context.Context, cfg Config, arch sm.Arch, gmem *ker
 	for i, st := range steps {
 		stepCfg := cfg
 		stepCfg.MaxCycles = maxCycles - totalCycles
+		if cfg.Telemetry != nil {
+			// Each launch's internal cycle counter restarts at zero; the base
+			// keeps the recorded series on the sequence-global cycle axis.
+			cfg.Telemetry.SetCycleBase(totalCycles)
+		}
 		r, err := runWithMeter(ctx, stepCfg, arch, st.Prog, st.Launch, gmem, &meter)
 		totalCycles += r.Cycles
 		agg.Add(&r.Stats)
@@ -63,6 +68,9 @@ func RunSequenceContext(ctx context.Context, cfg Config, arch sm.Arch, gmem *ker
 
 	staticW := cfg.Energies.StaticW(cfg.NumSMs, anyCodec)
 	bd := meter.Finish(totalCycles, cfg.CoreClockHz, staticW)
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Finalize()
+	}
 	res := Result{
 		Cycles:  totalCycles,
 		Stats:   agg,

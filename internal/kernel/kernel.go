@@ -122,12 +122,43 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint32]*[pageSize]byte), next: 256}
 }
 
-// Alloc reserves n bytes and returns the base address, 256-byte aligned.
+// AddrSpaceError is the typed panic value raised by Memory allocation or
+// bulk access beyond the 32-bit device address space. Address arithmetic
+// used to wrap around silently, corrupting low memory; exhaustion is a host
+// programming error (like indexing past a slice), so it panics rather than
+// threading an error through every workload builder.
+type AddrSpaceError struct {
+	Op    string // "alloc", "read", or "write"
+	Base  uint32 // allocation cursor or access base address
+	Bytes int64  // requested size in bytes
+}
+
+func (e *AddrSpaceError) Error() string {
+	return fmt.Sprintf("kernel: %s of %d bytes at %#x exceeds the 32-bit device address space",
+		e.Op, e.Bytes, e.Base)
+}
+
+// Alloc reserves n bytes and returns the base address, 256-byte aligned. It
+// panics with a *AddrSpaceError when the request does not fit in the
+// remaining 32-bit address space.
 func (m *Memory) Alloc(n int) uint32 {
 	const align = 256
 	base := (m.next + align - 1) &^ (align - 1)
+	// base < m.next catches the alignment step itself wrapping around.
+	if n < 0 || base < m.next || uint64(base)+uint64(n) > 1<<32 {
+		panic(&AddrSpaceError{Op: "alloc", Base: m.next, Bytes: int64(n)})
+	}
 	m.next = base + uint32(n)
 	return base
+}
+
+// checkRange panics with a *AddrSpaceError when an n-word access at base
+// would run past the end of the 32-bit address space (and previously wrapped
+// around to low memory).
+func checkRange(op string, base uint32, n int) {
+	if n < 0 || uint64(base)+4*uint64(n) > 1<<32 {
+		panic(&AddrSpaceError{Op: op, Base: base, Bytes: 4 * int64(n)})
+	}
 }
 
 func (m *Memory) page(addr uint32) *[pageSize]byte {
@@ -222,15 +253,19 @@ func (b *StoreBuffer) Flush(m *Memory) {
 	b.ops = b.ops[:0]
 }
 
-// WriteU32 stores the slice of words starting at base.
+// WriteU32 stores the slice of words starting at base. It panics with a
+// *AddrSpaceError when the range exceeds the address space.
 func (m *Memory) WriteU32(base uint32, vals []uint32) {
+	checkRange("write", base, len(vals))
 	for i, v := range vals {
 		m.Store32(base+uint32(i)*4, v)
 	}
 }
 
-// ReadU32 loads n words starting at base.
+// ReadU32 loads n words starting at base. It panics with a *AddrSpaceError
+// when the range exceeds the address space.
 func (m *Memory) ReadU32(base uint32, n int) []uint32 {
+	checkRange("read", base, n)
 	out := make([]uint32, n)
 	for i := range out {
 		out[i] = m.Load32(base + uint32(i)*4)
@@ -238,15 +273,19 @@ func (m *Memory) ReadU32(base uint32, n int) []uint32 {
 	return out
 }
 
-// WriteF32 stores float32 values starting at base.
+// WriteF32 stores float32 values starting at base. It panics with a
+// *AddrSpaceError when the range exceeds the address space.
 func (m *Memory) WriteF32(base uint32, vals []float32) {
+	checkRange("write", base, len(vals))
 	for i, v := range vals {
 		m.Store32(base+uint32(i)*4, math.Float32bits(v))
 	}
 }
 
-// ReadF32 loads n float32 values starting at base.
+// ReadF32 loads n float32 values starting at base. It panics with a
+// *AddrSpaceError when the range exceeds the address space.
 func (m *Memory) ReadF32(base uint32, n int) []float32 {
+	checkRange("read", base, n)
 	out := make([]float32, n)
 	for i := range out {
 		out[i] = math.Float32frombits(m.Load32(base + uint32(i)*4))

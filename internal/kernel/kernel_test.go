@@ -90,3 +90,69 @@ func TestLaunchValidate(t *testing.T) {
 		t.Fatalf("threads = %d", ok.Threads())
 	}
 }
+
+// wantAddrSpacePanic runs f and requires it to panic with a *AddrSpaceError
+// naming the given operation.
+func wantAddrSpacePanic(t *testing.T, op string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s beyond the address space did not panic", op)
+		}
+		e, ok := r.(*AddrSpaceError)
+		if !ok {
+			t.Fatalf("panic value %T (%v), want *AddrSpaceError", r, r)
+		}
+		if e.Op != op {
+			t.Errorf("AddrSpaceError.Op = %q, want %q", e.Op, op)
+		}
+		if e.Error() == "" {
+			t.Error("empty error string")
+		}
+	}()
+	f()
+}
+
+// TestAllocExhaustionPanics is the regression test for the silent 32-bit
+// wrap: allocations past the end of the address space used to hand out
+// wrapped (low, already-allocated) base addresses and corrupt memory; they
+// must panic instead.
+func TestAllocExhaustionPanics(t *testing.T) {
+	m := NewMemory()
+	// One allocation can never exceed the space...
+	wantAddrSpacePanic(t, "alloc", func() { m.Alloc(1 << 33) })
+	// ...nor a negative size slip through.
+	wantAddrSpacePanic(t, "alloc", func() { m.Alloc(-1) })
+
+	// Fill almost the whole space, then overflow by allocation sequence:
+	// the failed attempts above must not have moved the cursor.
+	base := m.Alloc(1<<32 - 4096)
+	if base != 256 {
+		t.Fatalf("first alloc base = %#x, want 0x100", base)
+	}
+	wantAddrSpacePanic(t, "alloc", func() { m.Alloc(8192) })
+
+	// The remaining tail is still allocatable after the failures.
+	if got := m.Alloc(16); got == 0 {
+		t.Fatal("tail allocation failed")
+	}
+}
+
+// TestBulkAccessRangePanics checks the slice helpers: a read or write whose
+// word range runs past the 32-bit address space used to wrap around and
+// touch low memory; it must panic with the typed error.
+func TestBulkAccessRangePanics(t *testing.T) {
+	m := NewMemory()
+	const nearEnd = uint32(1<<32 - 8)
+	wantAddrSpacePanic(t, "read", func() { m.ReadU32(nearEnd, 3) })
+	wantAddrSpacePanic(t, "read", func() { m.ReadF32(nearEnd, 3) })
+	wantAddrSpacePanic(t, "write", func() { m.WriteU32(nearEnd, make([]uint32, 3)) })
+	wantAddrSpacePanic(t, "write", func() { m.WriteF32(nearEnd, make([]float32, 3)) })
+
+	// The last two words of the space remain addressable.
+	m.WriteU32(nearEnd, []uint32{7, 9})
+	if got := m.ReadU32(nearEnd, 2); got[0] != 7 || got[1] != 9 {
+		t.Fatalf("end-of-space round trip = %v, want [7 9]", got)
+	}
+}

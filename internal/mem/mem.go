@@ -5,6 +5,8 @@
 // the SM, and DRAM channels serialise transactions at their burst rate.
 package mem
 
+import "gscalar/internal/telemetry"
+
 // LineSize is the memory transaction granularity in bytes (one L1/L2 line).
 const LineSize = 128
 
@@ -170,6 +172,10 @@ type System struct {
 	timing   Timing
 	l2       *Cache
 	chanFree []uint64
+	// chanTx counts DRAM transactions per channel for telemetry. drainToDRAM
+	// runs serially in both chip loops (directly in the serial loop, from the
+	// commit phase in the phased loop), so plain increments are race-free.
+	chanTx []uint64
 }
 
 // NewSystem builds the chip memory system with an l2Bytes L2.
@@ -178,6 +184,14 @@ func NewSystem(timing Timing, l2Bytes int) *System {
 		timing:   timing,
 		l2:       NewCache(l2Bytes, 16),
 		chanFree: make([]uint64, timing.NumChannels),
+		chanTx:   make([]uint64, timing.NumChannels),
+	}
+}
+
+// RegisterTelemetry registers the per-channel DRAM transaction counters.
+func (s *System) RegisterTelemetry(reg *telemetry.Registry) {
+	for ch := range s.chanTx {
+		reg.Counter("mem.dram_chan_tx", ch, &s.chanTx[ch])
 	}
 }
 
@@ -211,6 +225,7 @@ func (s *System) AccessL2(now uint64, line uint32, write bool) (done uint64, kin
 func (s *System) drainToDRAM(at uint64, line uint32) uint64 {
 	t := s.timing
 	ch := s.channelOf(line)
+	s.chanTx[ch]++
 	start := at
 	if s.chanFree[ch] > start {
 		start = s.chanFree[ch]

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"gscalar/internal/telemetry"
 )
 
 // Component identifies one energy-accounting bucket.
@@ -55,6 +57,14 @@ func (c Component) String() string {
 	return fmt.Sprintf("component(%d)", int(c))
 }
 
+// ComponentNames returns the short names of every component in index order,
+// for labelling per-component exports.
+func ComponentNames() []string {
+	names := make([]string, NumComponents)
+	copy(names, componentNames[:])
+	return names
+}
+
 // Meter accumulates energy per component. The zero value is ready to use.
 type Meter struct {
 	pJ [NumComponents]float64
@@ -80,6 +90,17 @@ func (m *Meter) Merge(o *Meter) {
 
 // Energy returns the accumulated energy of component c in picojoules.
 func (m *Meter) Energy(c Component) float64 { return m.pJ[c] }
+
+// RegisterTelemetry registers one energy gauge per component. Gauges are
+// last-wins across a sequence's launches, so registering the same cumulative
+// meter every launch reports the end-of-run totals; reading after Finish
+// includes the static bucket.
+func (m *Meter) RegisterTelemetry(reg *telemetry.Registry, instance int) {
+	for c := Component(0); c < NumComponents; c++ {
+		comp := c
+		reg.Gauge("power."+comp.String()+"_pj", instance, func() float64 { return m.pJ[comp] })
+	}
+}
 
 // TotalDynamic returns total accumulated dynamic energy in picojoules
 // (everything except CompStatic).

@@ -9,6 +9,7 @@ package regfile
 import (
 	"gscalar/internal/core"
 	"gscalar/internal/power"
+	"gscalar/internal/telemetry"
 )
 
 // Port identifies which structure a register access uses.
@@ -34,6 +35,12 @@ type File struct {
 	mainBusy   []bool
 	bvrBusy    []bool
 	scalarBusy bool
+
+	// Port-grant telemetry counters: plain increments on the TryServe hot
+	// path, never read during simulation (see package telemetry).
+	mainGrants   uint64
+	bvrGrants    uint64
+	scalarGrants uint64
 }
 
 // New creates the arbitration state for the given bank count.
@@ -65,18 +72,29 @@ func (f *File) TryServe(bank int, port Port) bool {
 			return false
 		}
 		f.mainBusy[bank] = true
+		f.mainGrants++
 	case PortBVR:
 		if f.bvrBusy[bank] {
 			return false
 		}
 		f.bvrBusy[bank] = true
+		f.bvrGrants++
 	case PortScalarBank:
 		if f.scalarBusy {
 			return false
 		}
 		f.scalarBusy = true
+		f.scalarGrants++
 	}
 	return true
+}
+
+// RegisterTelemetry registers the file's port-grant counters under the given
+// instance id (the owning SM's id).
+func (f *File) RegisterTelemetry(reg *telemetry.Registry, instance int) {
+	reg.Counter("rf.main_grants", instance, &f.mainGrants)
+	reg.Counter("rf.bvr_grants", instance, &f.bvrGrants)
+	reg.Counter("rf.scalarbank_grants", instance, &f.scalarGrants)
 }
 
 // BankOf maps an architectural register of a warp to its bank, using the

@@ -1,11 +1,6 @@
 package gscalar
 
-import (
-	"context"
-	"fmt"
-
-	"gscalar/internal/workloads"
-)
+import "context"
 
 // WarpSizeSweepResult is one point of the Figure 10 warp-size sweep.
 type WarpSizeSweepResult struct {
@@ -14,50 +9,23 @@ type WarpSizeSweepResult struct {
 	TotalFrac float64 // all scalar-eligible instructions
 }
 
-// RunWarpSizeSweep reproduces Figure 10 with a background context; see
-// RunWarpSizeSweepContext.
+// RunWarpSizeSweep reproduces Figure 10 with a background context.
+//
+// Deprecated: construct a Session with NewSession(cfg, GScalar) and call
+// Session.WarpSizeSweep, which adds cancellation, progress observation, and
+// telemetry. This shim remains for compatibility.
 func RunWarpSizeSweep(cfg Config, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
 	return RunWarpSizeSweepContext(context.Background(), cfg, abbr, warpSizes, scale)
 }
 
-// RunWarpSizeSweepContext reproduces Figure 10: the fraction of instructions
-// eligible for 16-thread-granularity ("half-scalar"; "quarter-scalar" at
-// warp size 64) scalar execution, for each warp size. The same workload is
-// rebuilt per point so thread counts stay constant while warps widen.
-// Cancelling ctx aborts the sweep at the in-flight point's next lifecycle
-// checkpoint.
+// RunWarpSizeSweepContext reproduces Figure 10 on the G-Scalar architecture.
+//
+// Deprecated: use Session.WarpSizeSweep, which this shim wraps (it pins the
+// architecture to GScalar, as the original free function did).
 func RunWarpSizeSweepContext(ctx context.Context, cfg Config, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
-	w, ok := workloads.ByAbbr(abbr)
-	if !ok {
-		return nil, errUnknownWorkload(abbr)
+	s, err := NewSession(cfg, GScalar)
+	if err != nil {
+		return nil, err
 	}
-	if scale < 1 {
-		scale = 1
-	}
-	out := make([]WarpSizeSweepResult, 0, len(warpSizes))
-	for _, ws := range warpSizes {
-		inst, err := w.Build(scale)
-		if err != nil {
-			return nil, err
-		}
-		c := cfg
-		c.Normalize()
-		c.WarpSize = ws
-		// Keep resident-thread capacity constant as warps widen.
-		c.MaxWarpsPerSM = DefaultConfig().MaxWarpsPerSM * DefaultConfig().WarpSize / ws
-		s, err := NewSession(c, GScalar)
-		if err != nil {
-			return nil, fmt.Errorf("gscalar: warp-size sweep at %d: %w", ws, err)
-		}
-		r, err := s.runInstance(ctx, abbr, inst)
-		if err != nil {
-			return nil, fmt.Errorf("gscalar: warp-size sweep at %d: %w", ws, err)
-		}
-		out = append(out, WarpSizeSweepResult{
-			WarpSize:  ws,
-			HalfFrac:  r.Eligibility.Half,
-			TotalFrac: r.Eligibility.Total(),
-		})
-	}
-	return out, nil
+	return s.WarpSizeSweep(ctx, abbr, warpSizes, scale)
 }

@@ -1,6 +1,19 @@
 package gscalar
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
+
+// newSessionT builds a Session or fails the test.
+func newSessionT(t *testing.T, cfg Config, arch Arch) *Session {
+	t.Helper()
+	s, err := NewSession(cfg, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
 
 // TestRunSequence runs a producer kernel followed by a dependent consumer
 // kernel over shared memory — the shape of real multi-kernel applications
@@ -45,7 +58,7 @@ func TestRunSequence(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.NumSMs = 2
-	res, err := RunSequence(cfg, GScalar, mem, seq)
+	res, err := newSessionT(t, cfg, GScalar).RunSequence(context.Background(), mem, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +71,7 @@ func TestRunSequence(t *testing.T) {
 	// The sequence totals must exceed either launch alone.
 	soloMem := NewMemory()
 	soloMid := soloMem.Alloc(n * 4)
-	solo, err := Run(cfg, GScalar, producer,
+	solo, err := newSessionT(t, cfg, GScalar).Run(context.Background(), producer,
 		Launch{GridX: n / 128, BlockX: 128, Params: []uint32{soloMid}}, soloMem)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +88,8 @@ func TestRunSequence(t *testing.T) {
 }
 
 func TestRunSequenceEmpty(t *testing.T) {
-	if _, err := RunSequence(DefaultConfig(), Baseline, NewMemory(), nil); err == nil {
+	s := newSessionT(t, DefaultConfig(), Baseline)
+	if _, err := s.RunSequence(context.Background(), NewMemory(), nil); err == nil {
 		t.Fatal("empty sequence accepted")
 	}
 }

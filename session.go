@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gscalar/internal/gpu"
+	"gscalar/internal/telemetry"
 	"gscalar/internal/workloads"
 )
 
@@ -42,6 +43,14 @@ type Session struct {
 	// cycles, which is what makes observer-triggered cancellation cut a run
 	// at the same cycle on every execution.
 	ObserverStride uint64
+	// Telemetry configures per-run metric collection; the most recent run's
+	// data is returned by Metrics. Like Observer it lives off-Config, so
+	// enabling it changes neither the config hash nor any simulated result.
+	// A session with telemetry enabled must not run concurrently with
+	// itself (Metrics is overwritten per run).
+	Telemetry TelemetryOptions
+
+	metrics *Metrics // telemetry of the most recently completed run
 }
 
 // NewSession normalizes and validates cfg and binds it to arch. It is the
@@ -62,17 +71,35 @@ func (s *Session) Config() Config { return s.cfg }
 // Arch returns the session's architecture.
 func (s *Session) Arch() Arch { return s.arch }
 
+// Metrics returns the telemetry collected by the session's most recent run,
+// or nil when Telemetry.Enabled was false (or no run has completed). A
+// cancelled run still produces metrics for its simulated prefix.
+func (s *Session) Metrics() *Metrics { return s.metrics }
+
 // lower produces the internal chip config with the session's lifecycle
-// hooks attached. The observer lives here — not on Config — so Config stays
-// a plain serializable value (JSON round-trip, content hash).
-func (s *Session) lower() gpu.Config {
+// hooks attached. The observer and telemetry recorder live here — not on
+// Config — so Config stays a plain serializable value (JSON round-trip,
+// content hash). The returned recorder is nil when telemetry is disabled.
+func (s *Session) lower() (gpu.Config, *telemetry.Recorder) {
 	g := s.cfg.toGPU()
 	if s.Observer != nil {
 		obs := s.Observer
 		g.Observer = func(p gpu.Progress) { obs(Progress(p)) }
 	}
 	g.ObserverStride = s.ObserverStride
-	return g
+	var rec *telemetry.Recorder
+	if s.Telemetry.Enabled {
+		rec = telemetry.NewRecorder(s.Telemetry.SampleStride)
+		g.Telemetry = rec
+	}
+	return g, rec
+}
+
+// finishMetrics publishes a completed (or cancelled) run's telemetry.
+func (s *Session) finishMetrics(rec *telemetry.Recorder, workload string) {
+	if rec != nil {
+		s.metrics = newMetrics(rec, s, workload)
+	}
 }
 
 // wrapErr annotates an error escaping a session run with what was running
@@ -91,7 +118,9 @@ func (s *Session) Run(ctx context.Context, prog *Program, launch Launch, mem *Me
 	if err != nil {
 		return Result{}, err
 	}
-	r, err := gpu.RunContext(ctx, s.lower(), s.arch.model(), prog.p, lc, mem.m)
+	g, rec := s.lower()
+	r, err := gpu.RunContext(ctx, g, s.arch.model(), prog.p, lc, mem.m)
+	s.finishMetrics(rec, prog.Name())
 	return resultFrom(r), s.wrapErr(prog.Name(), err)
 }
 
@@ -128,7 +157,9 @@ func (s *Session) RunWorkload(ctx context.Context, abbr string, scale int) (Resu
 // without the golden-output check (sweeps that deliberately skip it reuse
 // this path).
 func (s *Session) runInstance(ctx context.Context, abbr string, inst *workloads.Instance) (Result, error) {
-	r, err := gpu.RunContext(ctx, s.lower(), s.arch.model(), inst.Prog, inst.Launch, inst.Mem)
+	g, rec := s.lower()
+	r, err := gpu.RunContext(ctx, g, s.arch.model(), inst.Prog, inst.Launch, inst.Mem)
+	s.finishMetrics(rec, abbr)
 	return resultFrom(r), s.wrapErr(abbr, err)
 }
 
@@ -146,36 +177,91 @@ func (s *Session) RunSequence(ctx context.Context, mem *Memory, seq []KernelLaun
 		}
 		steps = append(steps, gpu.Step{Prog: kl.Prog.p, Launch: lc})
 	}
-	r, err := gpu.RunSequenceContext(ctx, s.lower(), s.arch.model(), mem.m, steps)
+	g, rec := s.lower()
+	r, err := gpu.RunSequenceContext(ctx, g, s.arch.model(), mem.m, steps)
+	s.finishMetrics(rec, "sequence")
 	return resultFrom(r), s.wrapErr("sequence", err)
 }
 
-// RunContext is Run with an explicit context (see Session for the
-// cancellation contract).
+// WarpSizeSweep reproduces Figure 10: the fraction of instructions eligible
+// for 16-thread-granularity ("half-scalar"; "quarter-scalar" at warp size
+// 64) scalar execution, for each warp size. The same workload is rebuilt per
+// point so thread counts stay constant while warps widen; each point derives
+// a per-warp-size session from this one (same architecture, observer, and
+// telemetry options, with MaxWarpsPerSM rescaled to keep resident-thread
+// capacity constant). Cancelling ctx aborts the sweep at the in-flight
+// point's next lifecycle checkpoint.
+func (s *Session) WarpSizeSweep(ctx context.Context, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
+	w, ok := workloads.ByAbbr(abbr)
+	if !ok {
+		return nil, errUnknownWorkload(abbr)
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	out := make([]WarpSizeSweepResult, 0, len(warpSizes))
+	for _, ws := range warpSizes {
+		inst, err := w.Build(scale)
+		if err != nil {
+			return nil, err
+		}
+		c := s.cfg
+		c.WarpSize = ws
+		// Keep resident-thread capacity constant as warps widen.
+		c.MaxWarpsPerSM = DefaultConfig().MaxWarpsPerSM * DefaultConfig().WarpSize / ws
+		p, err := NewSession(c, s.arch)
+		if err != nil {
+			return nil, fmt.Errorf("gscalar: warp-size sweep at %d: %w", ws, err)
+		}
+		p.Observer = s.Observer
+		p.ObserverStride = s.ObserverStride
+		p.Telemetry = s.Telemetry
+		r, err := p.runInstance(ctx, abbr, inst)
+		if err != nil {
+			return nil, fmt.Errorf("gscalar: warp-size sweep at %d: %w", ws, err)
+		}
+		out = append(out, WarpSizeSweepResult{
+			WarpSize:  ws,
+			HalfFrac:  r.Eligibility.Half,
+			TotalFrac: r.Eligibility.Total(),
+		})
+	}
+	return out, nil
+}
+
+// runVia is the single construction path behind every package-level Run*
+// helper: validate once through NewSession, then delegate to the session
+// method. It keeps the free functions thin, documented wrappers with
+// identical validation and error-wrapping behaviour.
+func runVia(cfg Config, arch Arch, f func(*Session) (Result, error)) (Result, error) {
+	s, err := NewSession(cfg, arch)
+	if err != nil {
+		return Result{}, err
+	}
+	return f(s)
+}
+
+// RunContext is Session.Run as a free function: it constructs a one-shot
+// Session (via runVia) and runs prog on it. Use a Session directly to reuse
+// the validated config, observe progress, or collect telemetry.
 func RunContext(ctx context.Context, cfg Config, arch Arch, prog *Program, launch Launch, mem *Memory) (Result, error) {
-	s, err := NewSession(cfg, arch)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.Run(ctx, prog, launch, mem)
+	return runVia(cfg, arch, func(s *Session) (Result, error) {
+		return s.Run(ctx, prog, launch, mem)
+	})
 }
 
-// RunWorkloadContext is RunWorkload with an explicit context (see Session
-// for the cancellation contract).
+// RunWorkloadContext is Session.RunWorkload as a free function over a
+// one-shot Session (via runVia); see RunContext.
 func RunWorkloadContext(ctx context.Context, cfg Config, arch Arch, abbr string, scale int) (Result, error) {
-	s, err := NewSession(cfg, arch)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.RunWorkload(ctx, abbr, scale)
+	return runVia(cfg, arch, func(s *Session) (Result, error) {
+		return s.RunWorkload(ctx, abbr, scale)
+	})
 }
 
-// RunSequenceContext is RunSequence with an explicit context (see Session
-// for the cancellation contract).
+// RunSequenceContext is Session.RunSequence as a free function over a
+// one-shot Session (via runVia); see RunContext.
 func RunSequenceContext(ctx context.Context, cfg Config, arch Arch, mem *Memory, seq []KernelLaunch) (Result, error) {
-	s, err := NewSession(cfg, arch)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.RunSequence(ctx, mem, seq)
+	return runVia(cfg, arch, func(s *Session) (Result, error) {
+		return s.RunSequence(ctx, mem, seq)
+	})
 }

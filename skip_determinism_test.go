@@ -13,7 +13,7 @@ func runSkip(t *testing.T, arch gscalar.Arch, abbr string, workers int, disableS
 	cfg := gscalar.DefaultConfig()
 	cfg.Workers = workers
 	cfg.DisableIdleSkip = disableSkip
-	res, err := gscalar.RunWorkload(cfg, arch, abbr, 1)
+	res, err := runWorkloadVia(t, cfg, arch, abbr, 1)
 	if err != nil {
 		t.Fatalf("%s on %s (workers=%d, noskip=%v): %v", abbr, arch, workers, disableSkip, err)
 	}
