@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race skipdet valcancel telemetry fmt fmtcheck bench bench-parallel
+.PHONY: check build test vet race skipdet valcancel telemetry perfsmoke fmt fmtcheck bench bench-parallel profile
 
-check: fmtcheck build test vet skipdet valcancel telemetry race
+check: fmtcheck build test vet skipdet valcancel telemetry perfsmoke race
 
 build:
 	$(GO) build ./...
@@ -58,3 +58,19 @@ bench:
 # Regenerates BENCH_parallel.json only.
 bench-parallel:
 	$(GO) test -bench ParallelSpeedup -benchtime 1x -run '^$$' .
+
+# Perf smoke: fail fast when a workload blows a generous wall-clock ceiling
+# (order-of-magnitude simulator regressions, not benchmarking).
+perfsmoke:
+	$(GO) test -short -run 'TestPerfSmoke' .
+
+# End-to-end CPU/heap profiling via internal/hostprof: run the LBM stressor
+# under -cpuprofile/-memprofile and print the top-10 hot functions of each.
+PROFILE_BENCH ?= LBM
+profile:
+	$(GO) build -o gscalar-sim.prof.bin ./cmd/gscalar-sim
+	./gscalar-sim.prof.bin -bench $(PROFILE_BENCH) \
+		-cpuprofile $(PROFILE_BENCH).cpu.pprof -memprofile $(PROFILE_BENCH).mem.pprof
+	$(GO) tool pprof -top -nodecount=10 gscalar-sim.prof.bin $(PROFILE_BENCH).cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space \
+		gscalar-sim.prof.bin $(PROFILE_BENCH).mem.pprof

@@ -406,6 +406,23 @@ type coreSnapshot struct {
 	Cycles     uint64  `json:"cycles"`
 	Seconds    float64 `json:"seconds"`
 	Speedup    float64 `json:"speedup"`
+	// SpeedupVsPrev is this row's wall-clock against the same workload on
+	// the tree before the SoA/branchless execution rework (soaBaseline),
+	// measured on the same host with the serial skip-enabled loop.
+	SpeedupVsPrev float64 `json:"speedup_vs_prev,omitempty"`
+}
+
+// soaBaseline records per-workload serial-loop (idle skip on) wall-clock
+// seconds measured once on this host against the tree as it stood before the
+// SoA/branchless warp-execution rework (commit 46c53c6), best of three runs.
+// The rework is structural — flat register slices, per-predicate lane masks,
+// cached coalesced-line lists — so no flag can restore the old cost.
+var soaBaseline = map[string]float64{
+	"BT": 0.0903, "BP": 0.1502, "HW": 0.0375, "HS": 0.1025,
+	"LC": 0.0701, "PF": 0.1196, "SR1": 0.0489, "SR2": 0.0291,
+	"CC": 0.1848, "LBM": 0.4849, "MG": 0.5211, "MQ": 0.3162,
+	"SAD": 0.0827, "MM": 0.1787, "MV": 2.7960, "ST": 0.0516,
+	"ACF": 0.2158,
 }
 
 // preReworkReference records the one measurement `make bench` cannot
@@ -430,44 +447,52 @@ type refMeas struct {
 }
 
 // coreBench is the BENCH_core.json document: the fixed pre-rework
-// reference plus live rows regenerated by `make bench`.
+// reference, the SoA-rework reference (fixed "before" column, live "after"
+// column), plus live rows regenerated by `make bench`.
 type coreBench struct {
 	PreRework preReworkReference `json:"pre_rework_reference"`
+	SoARework preReworkReference `json:"soa_rework_reference"`
 	Rows      []coreSnapshot     `json:"rows"`
 }
 
-// BenchmarkCoreSpeedup measures the event-driven rework of the SM core
-// loop: each workload runs on the serial loop with idle skipping disabled
-// (the closest reproducible stand-in for the old per-cycle full-scan loop)
-// and then with skipping enabled on the serial and phased loops. All modes
-// must produce bit-identical Results — the speedup is free. LBM is the
-// memory-stalled stressor (>50 % L1 miss rate); HS bounds the benefit on a
-// compute-heavy kernel. The within-tree skip delta is small on saturated
-// workloads by design: the gated SM.Cycle already makes a quiescent SM
-// nearly free, so whole-chip fast-forward mostly pays off in drain phases
-// and small grids. The headline rework speedup lives in the
-// pre_rework_reference block. Regenerate with:
+// BenchmarkCoreSpeedup measures the SM core loop's simulator performance
+// across the full Table 2 suite: every workload runs on the serial loop with
+// idle skipping disabled (the closest reproducible stand-in for the old
+// per-cycle full-scan loop) and then with skipping enabled on the serial and
+// phased loops. All modes must produce bit-identical Results — the speedup
+// is free. Each row also carries speedup_vs_prev: wall-clock against the
+// tree before the SoA/branchless execution rework (see soaBaseline), whose
+// suite total the soa_rework_reference block summarises. Regenerate with:
 //
 //	go test -bench CoreSpeedup -benchtime 1x -run '^$'
 //
 // or `make bench`.
 func BenchmarkCoreSpeedup(b *testing.B) {
-	workloads := []string{"LBM", "HS"}
+	workloads := gscalar.Workloads()
 	cores := runtime.GOMAXPROCS(0)
 	var snaps []coreSnapshot
 	var lbmSpeedup float64
+	soaWl := make(map[string]refMeas, len(workloads))
+	var suiteBefore, suiteAfter float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		snaps = snaps[:0]
+		soaWl = map[string]refMeas{}
+		suiteBefore, suiteAfter = 0, 0
 		for _, abbr := range workloads {
+			prev := soaBaseline[abbr]
 			base, baseSec := timedRun(b, abbr, 0, true)
 			add := func(mode string, workers int, skip bool, res gscalar.Result, sec float64) {
-				snaps = append(snaps, coreSnapshot{
+				snap := coreSnapshot{
 					Workload: abbr, Arch: gscalar.GScalar.String(),
 					ConfigHash: benchCfg(workers, !skip).Hash(), Scale: *benchScale,
 					HostCores: cores, Mode: mode, Workers: workers, IdleSkip: skip,
 					Cycles: res.Cycles, Seconds: sec, Speedup: baseSec / sec,
-				})
+				}
+				if prev > 0 && *benchScale == 1 {
+					snap.SpeedupVsPrev = prev / sec
+				}
+				snaps = append(snaps, snap)
 			}
 			add("serial-noskip", 0, false, base, baseSec)
 			res, sec := timedRun(b, abbr, 0, false)
@@ -477,6 +502,13 @@ func BenchmarkCoreSpeedup(b *testing.B) {
 				b.Fatalf("%s: serial skip-enabled result differs from skip-disabled", abbr)
 			}
 			add("serial-skip", 0, true, res, sec)
+			if prev > 0 {
+				suiteBefore += prev
+				suiteAfter += sec
+				soaWl[abbr] = refMeas{
+					SecondsBefore: prev, SecondsAfter: sec, Speedup: prev / sec,
+				}
+			}
 			if abbr == "LBM" {
 				lbmSpeedup = baseSec / sec
 			}
@@ -497,7 +529,18 @@ func BenchmarkCoreSpeedup(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(lbmSpeedup, "LBM-skip-speedup")
+	b.ReportMetric(suiteAfter, "suite-s")
 	doc := coreBench{
+		SoARework: preReworkReference{
+			Commit: "46c53c6",
+			Host:   "GOMAXPROCS=1 container host",
+			Note: "seconds_before measured once against the pre-SoA tree " +
+				"(serial loop, idle skip on, best of 3); seconds_after is " +
+				"this run's serial-skip row",
+			SuiteBefore: suiteBefore,
+			SuiteAfter:  suiteAfter,
+			Workloads:   soaWl,
+		},
 		PreRework: preReworkReference{
 			Commit: "a165751",
 			Host:   "Intel Xeon @ 2.10GHz, GOMAXPROCS=1",

@@ -15,6 +15,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"gscalar/internal/warp"
 )
 
@@ -46,31 +48,24 @@ func Groups(width int) int {
 // 7(a): inactive lanes receive a value from an active lane, so they never
 // break the comparison chain.
 func SameMSBBytes(vec []uint32, mask warp.Mask) uint8 {
+	m := mask
+	if len(vec) < 64 {
+		m &= 1<<uint(len(vec)) - 1
+	}
+	if m == 0 {
+		return 4
+	}
+	base := vec[bits.TrailingZeros64(m)]
 	var diff uint32
-	var base uint32
-	first := true
-	for lane := 0; lane < len(vec); lane++ {
-		if mask&(1<<lane) == 0 {
-			continue
-		}
-		if first {
-			base = vec[lane]
-			first = false
-			continue
-		}
-		diff |= base ^ vec[lane]
+	for m &= m - 1; m != 0; m &= m - 1 {
+		diff |= base ^ vec[bits.TrailingZeros64(m)]
 	}
-	switch {
-	case diff&0xFF000000 != 0:
-		return 0
-	case diff&0x00FF0000 != 0:
-		return 1
-	case diff&0x0000FF00 != 0:
-		return 2
-	case diff&0x000000FF != 0:
-		return 3
+	if diff == 0 {
+		return 4
 	}
-	return 4
+	// The number of identical MSBs is the whole leading-zero bytes of the
+	// accumulated difference.
+	return uint8(bits.LeadingZeros32(diff) >> 3)
 }
 
 // IsScalar reports whether all lanes of vec selected by mask hold the same
@@ -88,12 +83,14 @@ func EncBits(same uint8) uint8 {
 // simplicity; for divergently-written registers the first *active* lane,
 // since that is the lane the broadcast network sources).
 func BaseValue(vec []uint32, mask warp.Mask) uint32 {
-	for lane := 0; lane < len(vec); lane++ {
-		if mask&(1<<lane) != 0 {
-			return vec[lane]
-		}
+	m := mask
+	if len(vec) < 64 {
+		m &= 1<<uint(len(vec)) - 1
 	}
-	return 0
+	if m == 0 {
+		return 0
+	}
+	return vec[bits.TrailingZeros64(m)]
 }
 
 // Compressed is the stored form of one compressed lane group, used by the

@@ -1,0 +1,34 @@
+package mem
+
+import "testing"
+
+// TestAccessPathZeroAlloc checks the per-transaction memory hot path: line
+// coalescing into a caller-owned buffer, L1 lookups, and L2/DRAM accesses
+// must not allocate once warm.
+func TestAccessPathZeroAlloc(t *testing.T) {
+	addrs := make([]uint32, 32)
+	for i := range addrs {
+		addrs[i] = uint32(i) * 4
+	}
+	// Strided second half so coalescing covers the append and dedup paths.
+	for i := 16; i < 32; i++ {
+		addrs[i] = uint32(i) * 512
+	}
+	buf := CoalesceInto(nil, addrs, ^uint64(0)) // warm the buffer
+
+	c := NewCache(16<<10, 4)
+	sys := NewSystem(DefaultTiming(), 128<<10)
+	now := uint64(0)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = CoalesceInto(buf, addrs, ^uint64(0))
+		for _, line := range buf {
+			c.Lookup(line, true)
+			sys.AccessL2(now, line, false)
+		}
+		now++
+	})
+	if allocs != 0 {
+		t.Errorf("memory access path allocates %.2f objects/access, want 0", allocs)
+	}
+}

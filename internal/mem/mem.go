@@ -5,7 +5,11 @@
 // the SM, and DRAM channels serialise transactions at their burst rate.
 package mem
 
-import "gscalar/internal/telemetry"
+import (
+	"math/bits"
+
+	"gscalar/internal/telemetry"
+)
 
 // LineSize is the memory transaction granularity in bytes (one L1/L2 line).
 const LineSize = 128
@@ -20,27 +24,42 @@ func Coalesce(addrs []uint32, active uint64) []uint32 {
 }
 
 // CoalesceInto is Coalesce writing into buf (reset to length zero first), so
-// the per-access scratch can be reused across calls without allocating. A
-// warp produces at most one line per lane, so sorted-insertion dedup beats a
-// map + sort for every realistic access pattern.
+// the per-access scratch can be reused across calls without allocating.
+// Active lanes are bit-iterated (inactive lanes cost nothing), and the
+// dominant access shapes — a warp touching one line, or lane addresses
+// ascending — take a compare-and-append fast path; only genuinely unsorted
+// gathers fall back to sorted insertion (at most one line per lane, so
+// insertion still beats a map + sort there).
 func CoalesceInto(buf []uint32, addrs []uint32, active uint64) []uint32 {
 	lines := buf[:0]
-	for lane := 0; lane < len(addrs); lane++ {
-		if active&(1<<lane) == 0 {
+	m := active
+	if len(addrs) < 64 {
+		m &= 1<<uint(len(addrs)) - 1
+	}
+	for ; m != 0; m &= m - 1 {
+		line := addrs[bits.TrailingZeros64(m)] &^ (LineSize - 1)
+		if n := len(lines); n > 0 {
+			if last := lines[n-1]; line == last {
+				continue
+			} else if line > last {
+				lines = append(lines, line)
+				continue
+			}
+			// Out-of-order lane: insert into the sorted prefix, skipping
+			// duplicates.
+			i := n
+			for i > 0 && lines[i-1] > line {
+				i--
+			}
+			if i > 0 && lines[i-1] == line {
+				continue
+			}
+			lines = append(lines, 0)
+			copy(lines[i+1:], lines[i:])
+			lines[i] = line
 			continue
 		}
-		line := addrs[lane] &^ (LineSize - 1)
-		// Insert into the sorted prefix, skipping duplicates.
-		i := len(lines)
-		for i > 0 && lines[i-1] > line {
-			i--
-		}
-		if i > 0 && lines[i-1] == line {
-			continue
-		}
-		lines = append(lines, 0)
-		copy(lines[i+1:], lines[i:])
-		lines[i] = line
+		lines = append(lines, line)
 	}
 	return lines
 }

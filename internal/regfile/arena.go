@@ -1,0 +1,52 @@
+package regfile
+
+// Arena is a flat backing store for per-warp lane state (registers and
+// thread-coordinate vectors). One arena per SM keeps every resident warp's
+// register vectors contiguous in a single slice — the structure-of-arrays
+// layout the branchless execution loops stream over — and makes mid-run CTA
+// launches allocation-free: chunks released by retired warps are recycled.
+//
+// The arena is sized for the SM's maximum resident-warp footprint, so the
+// fallback heap allocation only triggers for configurations with an
+// unbounded register file.
+type Arena struct {
+	backing []uint32
+	used    int
+	free    [][]uint32
+}
+
+// NewArena creates an arena of the given capacity in uint32 words.
+func NewArena(words int) *Arena {
+	if words < 0 {
+		words = 0
+	}
+	return &Arena{backing: make([]uint32, words)}
+}
+
+// Alloc returns a zeroed chunk of the given word count: a recycled chunk of
+// the same size when one is free, a fresh carve from the backing store
+// otherwise, and a plain heap allocation only if the arena is exhausted.
+func (a *Arena) Alloc(words int) []uint32 {
+	for i := len(a.free) - 1; i >= 0; i-- {
+		if len(a.free[i]) == words {
+			s := a.free[i]
+			a.free = append(a.free[:i], a.free[i+1:]...)
+			clear(s)
+			return s
+		}
+	}
+	if a.used+words <= len(a.backing) {
+		s := a.backing[a.used : a.used+words : a.used+words]
+		a.used += words
+		return s
+	}
+	return make([]uint32, words)
+}
+
+// Free returns a chunk to the arena for reuse. Freeing nil is a no-op.
+func (a *Arena) Free(s []uint32) {
+	if s == nil {
+		return
+	}
+	a.free = append(a.free, s)
+}

@@ -29,12 +29,16 @@ const (
 	PortScalarBank
 )
 
-// File is the per-SM register-file arbitration state.
+// File is the per-SM register-file arbitration state. Port grants are
+// tracked as per-bank cycle generations in two flat slices: a port is busy
+// when its generation equals the current one, so starting a new cycle is a
+// single counter increment instead of clearing every bank flag.
 type File struct {
-	banks      int
-	mainBusy   []bool
-	bvrBusy    []bool
-	scalarBusy bool
+	banks     int
+	gen       uint64
+	mainGen   []uint64
+	bvrGen    []uint64
+	scalarGen uint64
 
 	// Port-grant telemetry counters: plain increments on the TryServe hot
 	// path, never read during simulation (see package telemetry).
@@ -46,9 +50,10 @@ type File struct {
 // New creates the arbitration state for the given bank count.
 func New(banks int) *File {
 	return &File{
-		banks:    banks,
-		mainBusy: make([]bool, banks),
-		bvrBusy:  make([]bool, banks),
+		banks:   banks,
+		gen:     1,
+		mainGen: make([]uint64, banks),
+		bvrGen:  make([]uint64, banks),
 	}
 }
 
@@ -56,34 +61,28 @@ func New(banks int) *File {
 func (f *File) Banks() int { return f.banks }
 
 // NewCycle releases all port grants for the next cycle.
-func (f *File) NewCycle() {
-	for i := 0; i < f.banks; i++ {
-		f.mainBusy[i] = false
-		f.bvrBusy[i] = false
-	}
-	f.scalarBusy = false
-}
+func (f *File) NewCycle() { f.gen++ }
 
 // TryServe attempts to grant the given port of the given bank this cycle.
 func (f *File) TryServe(bank int, port Port) bool {
 	switch port {
 	case PortMain:
-		if f.mainBusy[bank] {
+		if f.mainGen[bank] == f.gen {
 			return false
 		}
-		f.mainBusy[bank] = true
+		f.mainGen[bank] = f.gen
 		f.mainGrants++
 	case PortBVR:
-		if f.bvrBusy[bank] {
+		if f.bvrGen[bank] == f.gen {
 			return false
 		}
-		f.bvrBusy[bank] = true
+		f.bvrGen[bank] = f.gen
 		f.bvrGrants++
 	case PortScalarBank:
-		if f.scalarBusy {
+		if f.scalarGen == f.gen {
 			return false
 		}
-		f.scalarBusy = true
+		f.scalarGen = f.gen
 		f.scalarGrants++
 	}
 	return true

@@ -2,6 +2,7 @@ package sm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gscalar/internal/core"
 	"gscalar/internal/isa"
@@ -185,12 +186,14 @@ func (s *SM) tryIssueWarp(sched, wi int) bool {
 	ce := &s.collectors[free]
 	reads := ce.reads[:0]
 	addrBuf := ce.addrBuf
+	lines := ce.lines[:0]
 	*ce = collectorEntry{
 		valid: true, wi: wi, out: out, elig: elig,
 		srfScalar: srfScalar, predUniform: predUniform,
 		class: m.Class, latency: m.Latency, occMul: m.OccMul,
-		reads: reads, addrBuf: addrBuf,
+		reads: reads, addrBuf: addrBuf, lines: lines,
 	}
+	s.collClaim(free)
 	s.liveCollectors++
 	s.planReads(ce, wc, in, out)
 	if m.WritesReg {
@@ -230,13 +233,34 @@ func (s *SM) hazard(wc *warpCtx, in *isa.Instruction) bool {
 	return false
 }
 
+// freeCollector returns the lowest-index free operand collector, or -1. The
+// first 64 entries are found by a trailing-zero count on the free bitmask;
+// larger configurations fall back to scanning the tail, preserving the
+// lowest-index-first allocation order bit-identity depends on.
 func (s *SM) freeCollector() int {
-	for i := range s.collectors {
+	if s.collFree != 0 {
+		return bits.TrailingZeros64(s.collFree)
+	}
+	for i := 64; i < len(s.collectors); i++ {
 		if !s.collectors[i].valid {
 			return i
 		}
 	}
 	return -1
+}
+
+// collClaim/collRelease maintain the collector free bitmask as entries become
+// valid and are dispatched.
+func (s *SM) collClaim(i int) {
+	if i < 64 {
+		s.collFree &^= uint64(1) << i
+	}
+}
+
+func (s *SM) collRelease(i int) {
+	if i < 64 {
+		s.collFree |= uint64(1) << i
+	}
 }
 
 // injectMove issues the special decompressing register-to-register move of
@@ -250,12 +274,14 @@ func (s *SM) injectMove(free, wi int, reg uint8) {
 	ce := &s.collectors[free]
 	reads := ce.reads[:0]
 	addrBuf := ce.addrBuf
+	lines := ce.lines[:0]
 	*ce = collectorEntry{
 		valid: true, wi: wi, isMove: true, moveReg: reg,
-		occMul: 1, reads: reads, addrBuf: addrBuf,
+		occMul: 1, reads: reads, addrBuf: addrBuf, lines: lines,
 	}
 	ce.out.DstReg = int(reg)
 	ce.out.Active = wc.w.LiveMask
+	s.collClaim(free)
 	s.liveCollectors++
 
 	rc := wc.meta.OnRead(int(reg), wc.w.LiveMask, s.arch.F, false)

@@ -141,6 +141,7 @@ func (s *SM) dispatch(ci int) {
 		})
 	}
 	ce.valid = false
+	s.collRelease(ci)
 	s.liveCollectors--
 }
 
@@ -259,8 +260,14 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 		return s.now + occ + uint64(t.SharedLatency) + extra, 0, true
 	}
 
-	s.coalesceBuf = mem.CoalesceInto(s.coalesceBuf, ce.out.Addrs, ce.out.Active)
-	txs := s.coalesceBuf
+	// The line list is computed once per instruction and cached in the
+	// collector entry; dispatch retries (unit busy, MSHRs full) reuse it, so
+	// a long stall does not re-coalesce the same addresses every cycle.
+	if !ce.linesOK {
+		ce.lines = mem.CoalesceInto(ce.lines, ce.out.Addrs, ce.out.Active)
+		ce.linesOK = true
+	}
+	txs := ce.lines
 	isLoad := in.IsLoad()
 	// A request larger than the whole MSHR file (possible with wide warps
 	// and fully-diverged gathers) must still make progress: it dispatches
@@ -507,6 +514,7 @@ func (s *SM) baselineWrite(wc *warpCtx, dst int, active warp.Mask) {
 func (s *SM) maybeRecycle(wi int) {
 	wc := &s.warps[wi]
 	if wc.freeWhenDrained && !s.hasInFlight(wi) {
+		s.regArena.Free(wc.w.Storage())
 		wc.valid = false
 		wc.freeWhenDrained = false
 	}

@@ -28,9 +28,13 @@ const NoEvent = ^uint64(0)
 // per-PC metadata at issue so dispatch never re-decodes the instruction;
 // addrBuf is the collector's resident address scratch — the warp's
 // address-generation stage writes into it via Context.AddrScratch, and it
-// stays valid until dispatch coalesces it.
+// stays valid until dispatch coalesces it. lines is the entry's resident
+// coalesced-transaction buffer: the line list is computed once on the first
+// dispatch attempt (linesOK), so retry cycles — unit busy, MSHRs full — do
+// not re-coalesce the access.
 type collectorEntry struct {
 	valid       bool
+	linesOK     bool
 	wi          int
 	out         warp.Outcome
 	elig        core.Eligibility
@@ -43,6 +47,7 @@ type collectorEntry struct {
 	occMul      uint8
 	reads       []regfile.Access
 	addrBuf     []uint32
+	lines       []uint32
 }
 
 // wbEvent is a scheduled completion (writeback) of a dispatched instruction.
@@ -123,9 +128,19 @@ type SM struct {
 	warps      []warpCtx
 	ctas       []ctaSlot
 	collectors []collectorEntry
+	// collFree tracks free operand collectors as a bitmask (bit i = entry i
+	// free) for the first 64 entries, so allocation is a trailing-zero count
+	// instead of a scan; rarer larger configurations fall back to scanning.
+	collFree uint64
 	// Unit indices: 0..ALUUnits-1 are ALU pipelines, then MEM, then SFU.
 	unitBusy []uint64
 	events   []wbEvent
+	// regArena backs every resident warp's lane storage (registers + thread
+	// coordinates) in one flat per-SM slice; chunks are recycled when warp
+	// slots are released, so mid-run CTA launches allocate nothing. laneAlloc
+	// is regArena.Alloc bound once so launches do not allocate a closure.
+	regArena  *regfile.Arena
+	laneAlloc func(words int) []uint32
 
 	// Phased (parallel) mode: Cycle defers every access to shared chip
 	// state — L2/DRAM transactions and global-memory stores — into pending
@@ -164,7 +179,6 @@ type SM struct {
 
 	wbScratch   []wbEvent // processWritebacks reuse
 	candScratch []int     // issueFrom candidate snapshot reuse
-	coalesceBuf []uint32  // dispatchMem coalescing reuse
 
 	// schedWarps[sched] lists the valid, not-done warp slots of scheduler
 	// sched in ascending warp GlobalID order — the GTO age order — so the
@@ -202,6 +216,13 @@ func New(id int, cfg Config, arch Arch, en power.Energies, prog *kernel.Program,
 	for i := range s.collectors {
 		s.collectors[i].addrBuf = make([]uint32, cfg.WarpSize)
 	}
+	if cfg.NumCollectors >= 64 {
+		s.collFree = ^uint64(0)
+	} else {
+		s.collFree = (uint64(1) << cfg.NumCollectors) - 1
+	}
+	s.regArena = regfile.NewArena(cfg.MaxWarps * warp.StorageWords(prog.NumRegs, cfg.WarpSize))
+	s.laneAlloc = s.regArena.Alloc
 	s.unitBusy = make([]uint64, cfg.ALUUnits+2)
 	s.lastIssued = make([]int, cfg.Schedulers)
 	for i := range s.lastIssued {
@@ -290,7 +311,7 @@ func (s *SM) LaunchCTA(ctaLinear int) {
 		return
 	}
 	wpc := s.warpsPerCTA()
-	ws := warp.BuildCTA(s.prog, s.launch, ctaLinear, s.cfg.WarpSize, ctaLinear*wpc)
+	ws := warp.BuildCTAStored(s.prog, s.launch, ctaLinear, s.cfg.WarpSize, ctaLinear*wpc, s.laneAlloc)
 	shared := make([]uint32, (s.launch.SharedBytes+3)/4)
 	cs := &s.ctas[slot]
 	*cs = ctaSlot{active: true, ctaID: ctaLinear, shared: shared, liveWarps: len(ws)}
@@ -439,6 +460,7 @@ func (s *SM) retireWarp(wi int) {
 			if s.hasInFlight(slot) {
 				s.warps[slot].freeWhenDrained = true
 			} else {
+				s.regArena.Free(s.warps[slot].w.Storage())
 				s.warps[slot].valid = false
 			}
 		}

@@ -1,0 +1,69 @@
+package warp
+
+import (
+	"testing"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/kernel"
+)
+
+// TestExecuteSteadyStateZeroAlloc pins down the property the SoA execution
+// rework relies on: once a warp's outcome address scratch is provided by the
+// caller (as the SM's operand collectors do), Execute performs zero heap
+// allocations per warp-instruction across ALU, predicate, memory, and branch
+// paths.
+func TestExecuteSteadyStateZeroAlloc(t *testing.T) {
+	src := `
+		mov r1, %tid.x
+		shl r3, r1, 2
+		iadd r4, $0, r3
+		mov r5, 0
+	A:
+		ldg r6, [r4]
+		imad r6, r6, 3, 1
+		fadd r7, r6, r6
+		selp r8, r6, r7, p1
+		stg [r4], r6
+		iadd r5, r5, 1
+		isetp.lt p0, r5, 1000000
+		@p0 bra A
+		exit
+	`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmem := kernel.NewMemory()
+	lc := &kernel.LaunchConfig{Grid: kernel.Dim{X: 1, Y: 1}, Block: kernel.Dim{X: 32, Y: 1}}
+	lc.Params[0] = gmem.Alloc(32 * 4)
+
+	w := New(0, 0, 0, 32, prog.NumRegs, FullMask(32))
+	for lane := 0; lane < 32; lane++ {
+		w.SetThreadCoords(lane, uint32(lane), 0)
+	}
+	ctx := &Context{
+		Prog:        prog,
+		Launch:      lc,
+		Global:      gmem,
+		AddrScratch: make([]uint32, 32),
+	}
+
+	// Warm-up: touch the memory pages and reach the loop's steady state.
+	for i := 0; i < 100; i++ {
+		if _, err := w.Execute(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := w.Execute(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warp.Execute allocates %.2f objects/instruction in steady state, want 0", allocs)
+	}
+	if w.Status() != StatusReady {
+		t.Fatal("kernel drained during measurement; lengthen the loop")
+	}
+}

@@ -3,6 +3,7 @@ package warp
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"gscalar/internal/isa"
 )
@@ -12,6 +13,12 @@ import (
 // the timing and power models. Execute returns an error only for simulator
 // bugs or malformed programs (e.g. a PC out of range), never for ordinary
 // program behaviour.
+//
+// The per-lane loops below are structured for speed: every source operand is
+// resolved once per instruction into a flat lane vector or a uniform scalar
+// (srcOp), active lanes are visited by bit-iterating the mask (inactive
+// lanes cost nothing, which matters on divergent workloads), and predicated
+// merges are mask selects rather than per-lane branches.
 func (w *Warp) Execute(ctx *Context) (Outcome, error) {
 	pc, ok := w.NextPC()
 	if !ok {
@@ -116,50 +123,177 @@ func (w *Warp) execExit(active Mask, top *StackEntry, out *Outcome) {
 	}
 }
 
+// srcOp is a source operand resolved once per instruction: a per-lane
+// vector (vec non-nil) or a warp-uniform scalar.
+type srcOp struct {
+	vec []uint32
+	imm uint32
+}
+
+func (s srcOp) at(lane int) uint32 {
+	if s.vec != nil {
+		return s.vec[lane]
+	}
+	return s.imm
+}
+
+// resolve maps an operand to its srcOp. Per-lane specials resolve to the
+// warp's resident coordinate vectors (or the shared lane-index table), so
+// no per-lane switch runs inside the execution loops.
+func (w *Warp) resolve(ctx *Context, o isa.Operand) srcOp {
+	switch o.Kind {
+	case isa.OpdReg:
+		return srcOp{vec: w.RegVec(o.Reg)}
+	case isa.OpdImm:
+		return srcOp{imm: o.Imm}
+	case isa.OpdParam:
+		return srcOp{imm: ctx.Launch.Params[o.Reg]}
+	case isa.OpdSpecial:
+		switch o.Special {
+		case isa.SpecTidX:
+			return srcOp{vec: w.tidX}
+		case isa.SpecTidY:
+			return srcOp{vec: w.tidY}
+		case isa.SpecCtaIDX:
+			return srcOp{imm: w.ctaidX}
+		case isa.SpecCtaIDY:
+			return srcOp{imm: w.ctaidY}
+		case isa.SpecNTidX:
+			return srcOp{imm: uint32(ctx.Launch.Block.X)}
+		case isa.SpecNTidY:
+			return srcOp{imm: uint32(ctx.Launch.Block.Y)}
+		case isa.SpecNCtaX:
+			return srcOp{imm: uint32(ctx.Launch.Grid.X)}
+		case isa.SpecNCtaY:
+			return srcOp{imm: uint32(ctx.Launch.Grid.Y)}
+		case isa.SpecLaneID:
+			return srcOp{vec: laneIndex[:w.Width]}
+		case isa.SpecWarpID:
+			return srcOp{imm: uint32(w.ID)}
+		}
+	}
+	return srcOp{}
+}
+
 func (w *Warp) execSetP(ctx *Context, in *isa.Instruction, active Mask) {
 	p := in.Dst.Reg
-	for lane := 0; lane < w.Width; lane++ {
-		if active&(1<<lane) == 0 {
-			continue
+	a := w.resolve(ctx, in.Srcs[0])
+	b := w.resolve(ctx, in.Srcs[1])
+	var set Mask
+	if in.Op == isa.OpISetP {
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			if in.Cmp.Eval(int32(a.at(lane)), int32(b.at(lane))) {
+				set |= Mask(1) << lane
+			}
 		}
-		a := w.operand(ctx, in.Srcs[0], lane)
-		b := w.operand(ctx, in.Srcs[1], lane)
-		var v bool
-		if in.Op == isa.OpISetP {
-			v = in.Cmp.Eval(int32(a), int32(b))
-		} else {
-			v = in.Cmp.EvalF(math.Float32frombits(a), math.Float32frombits(b))
+	} else {
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			if in.Cmp.EvalF(math.Float32frombits(a.at(lane)), math.Float32frombits(b.at(lane))) {
+				set |= Mask(1) << lane
+			}
 		}
-		w.setPred(lane, p, v)
 	}
+	// Branchless predicated merge: only active lanes take the new value.
+	w.preds[p] = (w.preds[p] &^ active) | set
 }
 
 func (w *Warp) execALU(ctx *Context, in *isa.Instruction, active Mask, out *Outcome) {
 	dst := in.Dst.Reg
 	vec := w.RegVec(dst)
-	for lane := 0; lane < w.Width; lane++ {
-		if active&(1<<lane) == 0 {
-			continue
+	var a, b, c srcOp
+	if in.NSrc > 0 {
+		a = w.resolve(ctx, in.Srcs[0])
+	}
+	if in.NSrc > 1 {
+		b = w.resolve(ctx, in.Srcs[1])
+	}
+	if in.NSrc > 2 && in.Op != isa.OpSelP {
+		c = w.resolve(ctx, in.Srcs[2])
+	}
+
+	// Dedicated flat-slice loops for the hottest opcodes; everything else
+	// goes through the generic per-lane evaluator (operands still hoisted).
+	switch in.Op {
+	case isa.OpMov:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = a.at(lane)
 		}
-		vec[lane] = w.evalALU(ctx, in, lane)
+	case isa.OpIAdd:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = a.at(lane) + b.at(lane)
+		}
+	case isa.OpISub:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = a.at(lane) - b.at(lane)
+		}
+	case isa.OpIMul:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = uint32(int32(a.at(lane)) * int32(b.at(lane)))
+		}
+	case isa.OpIMad:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = uint32(int32(a.at(lane))*int32(b.at(lane)) + int32(c.at(lane)))
+		}
+	case isa.OpAnd:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = a.at(lane) & b.at(lane)
+		}
+	case isa.OpShl:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = a.at(lane) << (b.at(lane) & 31)
+		}
+	case isa.OpShr:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = a.at(lane) >> (b.at(lane) & 31)
+		}
+	case isa.OpSelP:
+		// Branchless select on the predicate's lane mask.
+		pm := w.preds[in.Srcs[2].Reg]
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			av, bv := a.at(lane), b.at(lane)
+			sel := uint32(-((pm >> lane) & 1))
+			vec[lane] = bv ^ ((av ^ bv) & sel)
+		}
+	case isa.OpFAdd:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = fbits(ffrom(a.at(lane)) + ffrom(b.at(lane)))
+		}
+	case isa.OpFMul:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = fbits(ffrom(a.at(lane)) * ffrom(b.at(lane)))
+		}
+	case isa.OpFFma:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = fbits(float32(float64(ffrom(a.at(lane)))*float64(ffrom(b.at(lane))) + float64(ffrom(c.at(lane)))))
+		}
+	default:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			vec[lane] = aluEval(in, a.at(lane), b.at(lane), c.at(lane))
+		}
 	}
 	out.DstReg = int(dst)
 	out.DstVec = vec
 }
 
-func (w *Warp) evalALU(ctx *Context, in *isa.Instruction, lane int) uint32 {
-	a := uint32(0)
-	if in.NSrc > 0 {
-		a = w.operand(ctx, in.Srcs[0], lane)
-	}
-	var b, c uint32
-	if in.NSrc > 1 {
-		b = w.operand(ctx, in.Srcs[1], lane)
-	}
-	if in.NSrc > 2 && in.Op != isa.OpSelP {
-		c = w.operand(ctx, in.Srcs[2], lane)
-	}
-
+// aluEval evaluates one lane of a generic ALU instruction from its
+// already-fetched operand values. OpSelP never reaches here (execALU handles
+// it with the predicate mask).
+func aluEval(in *isa.Instruction, a, b, c uint32) uint32 {
 	switch in.Op {
 	case isa.OpMov:
 		return a
@@ -210,12 +344,6 @@ func (w *Warp) evalALU(ctx *Context, in *isa.Instruction, lane int) uint32 {
 		return a >> (b & 31)
 	case isa.OpSra:
 		return uint32(int32(a) >> (b & 31))
-	case isa.OpSelP:
-		p := in.Srcs[2].Reg
-		if w.preds[lane]&(1<<p) != 0 {
-			return a
-		}
-		return b
 	case isa.OpFAdd:
 		return fbits(ffrom(a) + ffrom(b))
 	case isa.OpFSub:
@@ -269,15 +397,20 @@ func (w *Warp) execLoad(ctx *Context, in *isa.Instruction, active Mask, out *Out
 	dst := in.Dst.Reg
 	vec := w.RegVec(dst)
 	out.Addrs = w.addrVec(ctx)
-	for lane := 0; lane < w.Width; lane++ {
-		if active&(1<<lane) == 0 {
-			continue
-		}
-		addr := w.operand(ctx, in.Srcs[0], lane) + uint32(in.Off)
-		out.Addrs[lane] = addr
-		if in.Op == isa.OpLdGlobal {
+	base := w.resolve(ctx, in.Srcs[0])
+	off := uint32(in.Off)
+	if in.Op == isa.OpLdGlobal {
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			addr := base.at(lane) + off
+			out.Addrs[lane] = addr
 			vec[lane] = ctx.Global.Load32(addr)
-		} else {
+		}
+	} else {
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			addr := base.at(lane) + off
+			out.Addrs[lane] = addr
 			v, err := loadShared(ctx, addr)
 			if err != nil {
 				return fmt.Errorf("%v at pc %d line %d", err, out.PC, in.Line)
@@ -294,21 +427,33 @@ func (w *Warp) execLoad(ctx *Context, in *isa.Instruction, active Mask, out *Out
 
 func (w *Warp) execStore(ctx *Context, in *isa.Instruction, active Mask, out *Outcome) error {
 	out.Addrs = w.addrVec(ctx)
-	for lane := 0; lane < w.Width; lane++ {
-		if active&(1<<lane) == 0 {
-			continue
-		}
-		addr := w.operand(ctx, in.Srcs[0], lane) + uint32(in.Off)
-		out.Addrs[lane] = addr
-		v := w.operand(ctx, in.Srcs[1], lane)
-		if in.Op == isa.OpStGlobal {
-			if ctx.StoreBuf != nil {
-				ctx.StoreBuf.Store32(addr, v)
-			} else {
-				ctx.Global.Store32(addr, v)
+	base := w.resolve(ctx, in.Srcs[0])
+	val := w.resolve(ctx, in.Srcs[1])
+	off := uint32(in.Off)
+	if in.Op == isa.OpStGlobal {
+		if ctx.StoreBuf != nil {
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(m)
+				addr := base.at(lane) + off
+				out.Addrs[lane] = addr
+				ctx.StoreBuf.Store32(addr, val.at(lane))
 			}
-		} else if err := storeShared(ctx, addr, v); err != nil {
-			return fmt.Errorf("%v at pc %d line %d", err, out.PC, in.Line)
+		} else {
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(m)
+				addr := base.at(lane) + off
+				out.Addrs[lane] = addr
+				ctx.Global.Store32(addr, val.at(lane))
+			}
+		}
+	} else {
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			addr := base.at(lane) + off
+			out.Addrs[lane] = addr
+			if err := storeShared(ctx, addr, val.at(lane)); err != nil {
+				return fmt.Errorf("%v at pc %d line %d", err, out.PC, in.Line)
+			}
 		}
 	}
 	out.IsMem = true
@@ -342,42 +487,6 @@ func storeShared(ctx *Context, addr uint32, v uint32) error {
 	}
 	ctx.Shared[i] = v
 	return nil
-}
-
-// operand evaluates a source operand for one lane.
-func (w *Warp) operand(ctx *Context, o isa.Operand, lane int) uint32 {
-	switch o.Kind {
-	case isa.OpdReg:
-		return w.Reg(lane, o.Reg)
-	case isa.OpdImm:
-		return o.Imm
-	case isa.OpdParam:
-		return ctx.Launch.Params[o.Reg]
-	case isa.OpdSpecial:
-		switch o.Special {
-		case isa.SpecTidX:
-			return w.tidX[lane]
-		case isa.SpecTidY:
-			return w.tidY[lane]
-		case isa.SpecCtaIDX:
-			return w.ctaidX
-		case isa.SpecCtaIDY:
-			return w.ctaidY
-		case isa.SpecNTidX:
-			return uint32(ctx.Launch.Block.X)
-		case isa.SpecNTidY:
-			return uint32(ctx.Launch.Block.Y)
-		case isa.SpecNCtaX:
-			return uint32(ctx.Launch.Grid.X)
-		case isa.SpecNCtaY:
-			return uint32(ctx.Launch.Grid.Y)
-		case isa.SpecLaneID:
-			return uint32(lane)
-		case isa.SpecWarpID:
-			return uint32(w.ID)
-		}
-	}
-	return 0
 }
 
 func ffrom(bits uint32) float32 { return math.Float32frombits(bits) }

@@ -42,8 +42,8 @@ func evalOne(t *testing.T, op string, srcs ...uint32) uint32 {
 	return w.Reg(0, 3)
 }
 
-func f32(bits uint32) float32 { return math.Float32frombits(bits) }
-func bits(f float32) uint32   { return math.Float32bits(f) }
+func f32(bits uint32) float32    { return math.Float32frombits(bits) }
+func testFBits(f float32) uint32 { return math.Float32bits(f) }
 
 func TestIntegerOpSemantics(t *testing.T) {
 	cases := []struct {
@@ -85,70 +85,70 @@ func TestUnaryOpSemantics(t *testing.T) {
 	if got := evalOne(t, "not", 0); got != 0xFFFFFFFF {
 		t.Errorf("not(0) = %#x", got)
 	}
-	if got := evalOne(t, "fneg", bits(1.5)); got != bits(-1.5) {
+	if got := evalOne(t, "fneg", testFBits(1.5)); got != testFBits(-1.5) {
 		t.Errorf("fneg(1.5) = %#x", got)
 	}
-	if got := evalOne(t, "fabs", bits(-2.25)); got != bits(2.25) {
+	if got := evalOne(t, "fabs", testFBits(-2.25)); got != testFBits(2.25) {
 		t.Errorf("fabs(-2.25) = %#x", got)
 	}
-	if got := evalOne(t, "i2f", uint32(0xFFFFFFFF)); got != bits(-1) {
+	if got := evalOne(t, "i2f", uint32(0xFFFFFFFF)); got != testFBits(-1) {
 		t.Errorf("i2f(-1) = %#x", got)
 	}
-	if got := evalOne(t, "f2i", bits(-3.7)); got != uint32(0xFFFFFFFD) {
+	if got := evalOne(t, "f2i", testFBits(-3.7)); got != uint32(0xFFFFFFFD) {
 		t.Errorf("f2i(-3.7) = %#x, want -3", got)
 	}
-	if got := evalOne(t, "f2i", bits(float32(math.NaN()))); got != 0 {
+	if got := evalOne(t, "f2i", testFBits(float32(math.NaN()))); got != 0 {
 		t.Errorf("f2i(NaN) = %#x", got)
 	}
-	if got := evalOne(t, "f2i", bits(1e30)); got != 0x7FFFFFFF {
+	if got := evalOne(t, "f2i", testFBits(1e30)); got != 0x7FFFFFFF {
 		t.Errorf("f2i(1e30) = %#x", got)
 	}
-	if got := evalOne(t, "f2i", bits(-1e30)); got != 0x80000000 {
+	if got := evalOne(t, "f2i", testFBits(-1e30)); got != 0x80000000 {
 		t.Errorf("f2i(-1e30) = %#x", got)
 	}
 }
 
 func TestFloatOpSemantics(t *testing.T) {
-	if got := evalOne(t, "fadd", bits(1.5), bits(2.25)); got != bits(3.75) {
+	if got := evalOne(t, "fadd", testFBits(1.5), testFBits(2.25)); got != testFBits(3.75) {
 		t.Errorf("fadd = %#x", got)
 	}
-	if got := evalOne(t, "fmul", bits(3), bits(-2)); got != bits(-6) {
+	if got := evalOne(t, "fmul", testFBits(3), testFBits(-2)); got != testFBits(-6) {
 		t.Errorf("fmul = %#x", got)
 	}
 	// FFMA uses a fused (float64) intermediate.
 	a, b, c := float32(1.0000001), float32(1.0000001), float32(-1)
-	want := bits(float32(float64(a)*float64(b) + float64(c)))
-	if got := evalOne(t, "ffma", bits(a), bits(b), bits(c)); got != want {
+	want := testFBits(float32(float64(a)*float64(b) + float64(c)))
+	if got := evalOne(t, "ffma", testFBits(a), testFBits(b), testFBits(c)); got != want {
 		t.Errorf("ffma fused = %#x, want %#x", got, want)
 	}
-	if got := evalOne(t, "fmin", bits(1), bits(-2)); got != bits(-2) {
+	if got := evalOne(t, "fmin", testFBits(1), testFBits(-2)); got != testFBits(-2) {
 		t.Errorf("fmin = %#x", got)
 	}
-	if got := evalOne(t, "fmax", bits(1), bits(-2)); got != bits(1) {
+	if got := evalOne(t, "fmax", testFBits(1), testFBits(-2)); got != testFBits(1) {
 		t.Errorf("fmax = %#x", got)
 	}
 }
 
 func TestSFUOpSemantics(t *testing.T) {
-	if got := evalOne(t, "ex2", bits(3)); got != bits(8) {
+	if got := evalOne(t, "ex2", testFBits(3)); got != testFBits(8) {
 		t.Errorf("ex2(3) = %v", f32(got))
 	}
-	if got := evalOne(t, "lg2", bits(8)); got != bits(3) {
+	if got := evalOne(t, "lg2", testFBits(8)); got != testFBits(3) {
 		t.Errorf("lg2(8) = %v", f32(got))
 	}
-	if got := evalOne(t, "sqrt", bits(9)); got != bits(3) {
+	if got := evalOne(t, "sqrt", testFBits(9)); got != testFBits(3) {
 		t.Errorf("sqrt(9) = %v", f32(got))
 	}
-	if got := evalOne(t, "rsqrt", bits(4)); got != bits(0.5) {
+	if got := evalOne(t, "rsqrt", testFBits(4)); got != testFBits(0.5) {
 		t.Errorf("rsqrt(4) = %v", f32(got))
 	}
-	if got := evalOne(t, "rcp", bits(4)); got != bits(0.25) {
+	if got := evalOne(t, "rcp", testFBits(4)); got != testFBits(0.25) {
 		t.Errorf("rcp(4) = %v", f32(got))
 	}
-	if got := f32(evalOne(t, "sin", bits(0))); got != 0 {
+	if got := f32(evalOne(t, "sin", testFBits(0))); got != 0 {
 		t.Errorf("sin(0) = %v", got)
 	}
-	if got := f32(evalOne(t, "cos", bits(0))); got != 1 {
+	if got := f32(evalOne(t, "cos", testFBits(0))); got != 1 {
 		t.Errorf("cos(0) = %v", got)
 	}
 }

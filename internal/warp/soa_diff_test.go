@@ -1,0 +1,376 @@
+package warp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/isa"
+	"gscalar/internal/kernel"
+)
+
+// This file pins the structure-of-arrays execution rework to the semantics
+// it replaced: refWarp is an array-of-structures reference model — per-lane
+// register arrays, per-lane boolean predicates, per-lane `if active` checks
+// instead of mask iteration and branchless merges. The two models run the
+// same programs in lockstep and must agree on every register, predicate,
+// shared word, and global word after every instruction.
+
+type refWarp struct {
+	regs       [][]uint32       // [lane][reg] — AoS, the transposed layout
+	preds      [][NumPreds]bool // [lane][p]
+	tidX, tidY []uint32
+}
+
+func newRefWarp(w *Warp, numRegs int) *refWarp {
+	r := &refWarp{
+		regs:  make([][]uint32, w.Width),
+		preds: make([][NumPreds]bool, w.Width),
+		tidX:  make([]uint32, w.Width),
+		tidY:  make([]uint32, w.Width),
+	}
+	for lane := 0; lane < w.Width; lane++ {
+		r.regs[lane] = make([]uint32, numRegs)
+		r.tidX[lane] = w.tidX[lane]
+		r.tidY[lane] = w.tidY[lane]
+	}
+	return r
+}
+
+func (r *refWarp) operand(ctx *Context, w *Warp, lane int, o isa.Operand) uint32 {
+	switch o.Kind {
+	case isa.OpdReg:
+		return r.regs[lane][o.Reg]
+	case isa.OpdImm:
+		return o.Imm
+	case isa.OpdParam:
+		return ctx.Launch.Params[o.Reg]
+	case isa.OpdSpecial:
+		switch o.Special {
+		case isa.SpecTidX:
+			return r.tidX[lane]
+		case isa.SpecTidY:
+			return r.tidY[lane]
+		case isa.SpecCtaIDX:
+			return w.ctaidX
+		case isa.SpecCtaIDY:
+			return w.ctaidY
+		case isa.SpecNTidX:
+			return uint32(ctx.Launch.Block.X)
+		case isa.SpecNTidY:
+			return uint32(ctx.Launch.Block.Y)
+		case isa.SpecNCtaX:
+			return uint32(ctx.Launch.Grid.X)
+		case isa.SpecNCtaY:
+			return uint32(ctx.Launch.Grid.Y)
+		case isa.SpecLaneID:
+			return uint32(lane)
+		case isa.SpecWarpID:
+			return uint32(w.ID)
+		}
+	}
+	return 0
+}
+
+// step applies the reference (per-lane, branchy) semantics of one
+// instruction. Control flow is shared with the real warp — the lockstep
+// driver hands step the instruction and active mask the real warp resolved —
+// so the comparison isolates the lane-state data path.
+func (r *refWarp) step(ctx *Context, w *Warp, global *kernel.Memory, shared []uint32,
+	in *isa.Instruction, active Mask) error {
+	switch in.Op {
+	case isa.OpBra, isa.OpExit, isa.OpBar, isa.OpNop, isa.OpVMov:
+		return nil
+	}
+	off := uint32(in.Off)
+	switch {
+	case in.IsLoad():
+		for lane := 0; lane < w.Width; lane++ {
+			if active&(Mask(1)<<lane) == 0 {
+				continue
+			}
+			addr := r.operand(ctx, w, lane, in.Srcs[0]) + off
+			if in.Op == isa.OpLdGlobal {
+				r.regs[lane][in.Dst.Reg] = global.Load32(addr)
+			} else {
+				i := addr / 4
+				if int(i) >= len(shared) {
+					return fmt.Errorf("ref: shared load at %#x out of range", addr)
+				}
+				r.regs[lane][in.Dst.Reg] = shared[i]
+			}
+		}
+	case in.IsStore():
+		for lane := 0; lane < w.Width; lane++ {
+			if active&(Mask(1)<<lane) == 0 {
+				continue
+			}
+			addr := r.operand(ctx, w, lane, in.Srcs[0]) + off
+			v := r.operand(ctx, w, lane, in.Srcs[1])
+			if in.Op == isa.OpStGlobal {
+				global.Store32(addr, v)
+			} else {
+				i := addr / 4
+				if int(i) >= len(shared) {
+					return fmt.Errorf("ref: shared store at %#x out of range", addr)
+				}
+				shared[i] = v
+			}
+		}
+	case in.Dst.Kind == isa.OpdPred:
+		for lane := 0; lane < w.Width; lane++ {
+			if active&(Mask(1)<<lane) == 0 {
+				continue
+			}
+			a := r.operand(ctx, w, lane, in.Srcs[0])
+			b := r.operand(ctx, w, lane, in.Srcs[1])
+			if in.Op == isa.OpISetP {
+				r.preds[lane][in.Dst.Reg] = in.Cmp.Eval(int32(a), int32(b))
+			} else {
+				r.preds[lane][in.Dst.Reg] = in.Cmp.EvalF(ffrom(a), ffrom(b))
+			}
+		}
+	case in.Op == isa.OpSelP:
+		for lane := 0; lane < w.Width; lane++ {
+			if active&(Mask(1)<<lane) == 0 {
+				continue
+			}
+			if r.preds[lane][in.Srcs[2].Reg] {
+				r.regs[lane][in.Dst.Reg] = r.operand(ctx, w, lane, in.Srcs[0])
+			} else {
+				r.regs[lane][in.Dst.Reg] = r.operand(ctx, w, lane, in.Srcs[1])
+			}
+		}
+	default:
+		for lane := 0; lane < w.Width; lane++ {
+			if active&(Mask(1)<<lane) == 0 {
+				continue
+			}
+			var a, b, c uint32
+			if in.NSrc > 0 {
+				a = r.operand(ctx, w, lane, in.Srcs[0])
+			}
+			if in.NSrc > 1 {
+				b = r.operand(ctx, w, lane, in.Srcs[1])
+			}
+			if in.NSrc > 2 {
+				c = r.operand(ctx, w, lane, in.Srcs[2])
+			}
+			r.regs[lane][in.Dst.Reg] = aluEval(in, a, b, c)
+		}
+	}
+	return nil
+}
+
+// compare checks every lane register and predicate of both models.
+func (r *refWarp) compare(w *Warp, numRegs int) error {
+	for lane := 0; lane < w.Width; lane++ {
+		for reg := 0; reg < numRegs; reg++ {
+			if got, want := w.Reg(lane, uint8(reg)), r.regs[lane][reg]; got != want {
+				return fmt.Errorf("lane %d r%d: SoA %#x, AoS ref %#x", lane, reg, got, want)
+			}
+		}
+		for p := 0; p < NumPreds; p++ {
+			got := w.PredMask(uint8(p), false)&(Mask(1)<<lane) != 0
+			if got != r.preds[lane][p] {
+				return fmt.Errorf("lane %d p%d: SoA %v, AoS ref %v", lane, p, got, r.preds[lane][p])
+			}
+		}
+	}
+	return nil
+}
+
+// runDiff executes one program on both models in lockstep and compares full
+// architectural state after every instruction, plus both global memories at
+// the end.
+func runDiff(t *testing.T, src string, width int, seed int64) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, src)
+	}
+	const bufWords = 4096
+	newLC := func(m *kernel.Memory) *kernel.LaunchConfig {
+		l := &kernel.LaunchConfig{
+			Grid: kernel.Dim{X: 2, Y: 1}, Block: kernel.Dim{X: width, Y: 1},
+			SharedBytes: 256,
+		}
+		l.Params[0] = m.Alloc(bufWords * 4)
+		return l
+	}
+	gmem := kernel.NewMemory()
+	lc := newLC(gmem)
+	refGlobal := kernel.NewMemory()
+	refLC := newLC(refGlobal)
+	if refLC.Params[0] != lc.Params[0] {
+		t.Fatal("reference allocator diverged")
+	}
+	// Seed both memories with the same pseudo-random contents so loads
+	// observe non-trivial data.
+	rng := rand.New(rand.NewSource(seed))
+	init := make([]uint32, bufWords)
+	for i := range init {
+		init[i] = rng.Uint32()
+	}
+	gmem.WriteU32(lc.Params[0], init)
+	refGlobal.WriteU32(refLC.Params[0], init)
+
+	w := New(0, 1, 0, width, prog.NumRegs, FullMask(width))
+	w.SetCTACoords(1, 0)
+	for lane := 0; lane < width; lane++ {
+		w.SetThreadCoords(lane, uint32(lane), 0)
+	}
+	ctx := &Context{
+		Prog: prog, Launch: lc, Global: gmem,
+		Shared: make([]uint32, (lc.SharedBytes+3)/4),
+	}
+	ref := newRefWarp(w, prog.NumRegs)
+	refShared := make([]uint32, len(ctx.Shared))
+
+	for steps := 0; w.Status() == StatusReady; steps++ {
+		if steps > 100_000 {
+			t.Fatalf("runaway kernel\n%s", src)
+		}
+		_, in, active, ok := w.Peek(ctx)
+		if !ok {
+			break
+		}
+		out, err := w.Execute(ctx)
+		if err != nil {
+			t.Fatalf("step %d: %v\n%s", steps, err, src)
+		}
+		if out.Active != active {
+			t.Fatalf("step %d: Peek active %x vs Execute %x", steps, active, out.Active)
+		}
+		if err := ref.step(ctx, w, refGlobal, refShared, in, active); err != nil {
+			t.Fatalf("step %d: %v\n%s", steps, err, src)
+		}
+		if err := ref.compare(w, prog.NumRegs); err != nil {
+			t.Fatalf("step %d pc %d (%v): %v\n%s", steps, out.PC, in.Op, err, src)
+		}
+	}
+	for i, s := range ctx.Shared {
+		if s != refShared[i] {
+			t.Fatalf("shared[%d]: SoA %#x, AoS ref %#x\n%s", i, s, refShared[i], src)
+		}
+	}
+	got := gmem.ReadU32(lc.Params[0], bufWords)
+	want := refGlobal.ReadU32(refLC.Params[0], bufWords)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("global[%d]: SoA %#x, AoS ref %#x\n%s", i, got[i], want[i], src)
+		}
+	}
+}
+
+// genDiffKernel builds a random structured kernel exercising the reworked
+// paths: mask-iterated ALU loops, branchless SetP/SelP merges, guarded
+// instructions (partial-mask merges), float ops, divergent loops, and
+// global + shared memory traffic.
+func genDiffKernel(rng *rand.Rand) string {
+	src := "\tmov r1, %tid.x\n\tmov r2, %laneid\n"
+	src += "\tmov r3, 1\n\tmov r4, 2\n\tmov r5, 3\n"
+	// Global pointer: lane-strided slot inside the 4096-word buffer.
+	src += "\tand r9, r1, 1023\n\tshl r9, r9, 2\n\tiadd r9, $0, r9\n"
+	aluOps := []string{"iadd", "isub", "imul", "and", "or", "xor", "imin",
+		"imax", "shl", "shr", "sra"}
+	unaryOps := []string{"iabs", "not"}
+	fOps := []string{"fadd", "fsub", "fmul", "fmin", "fmax"}
+	nBlocks := 2 + rng.Intn(4)
+	for b := 0; b < nBlocks; b++ {
+		for i := 0; i < 3+rng.Intn(5); i++ {
+			dst := 3 + rng.Intn(4)
+			a := 1 + rng.Intn(6)
+			c := 1 + rng.Intn(6)
+			switch rng.Intn(6) {
+			case 0: // float chain on i2f-sanitised values
+				src += fmt.Sprintf("\tand r7, r%d, 255\n\ti2f r7, r7\n", a)
+				src += fmt.Sprintf("\t%s r%d, r7, r7\n", fOps[rng.Intn(len(fOps))], dst)
+				src += fmt.Sprintf("\tf2i r%d, r%d\n", dst, dst)
+			case 1: // predicated select
+				src += fmt.Sprintf("\tisetp.%s p%d, r%d, %d\n",
+					[]string{"lt", "ge", "eq", "ne", "le", "gt"}[rng.Intn(6)],
+					rng.Intn(4), a, rng.Intn(16))
+				src += fmt.Sprintf("\tselp r%d, r%d, r%d, p%d\n", dst, a, c, rng.Intn(4))
+			case 2: // guarded op: a partial-mask merge into dst
+				src += fmt.Sprintf("\tisetp.lt p%d, r%d, %d\n", rng.Intn(4), a, rng.Intn(32))
+				neg := ""
+				if rng.Intn(2) == 0 {
+					neg = "!"
+				}
+				src += fmt.Sprintf("\t@%sp%d iadd r%d, r%d, %d\n",
+					neg, rng.Intn(4), dst, a, rng.Intn(100))
+			case 3: // global round-trip through the lane's slot
+				src += fmt.Sprintf("\tstg [r9+%d], r%d\n\tldg r%d, [r9+%d]\n",
+					rng.Intn(4)*4, a, dst, rng.Intn(4)*4)
+			case 4: // shared round-trip (64 words)
+				src += fmt.Sprintf("\tand r8, r%d, 63\n\tshl r8, r8, 2\n", a)
+				src += fmt.Sprintf("\tsts [r8], r%d\n\tlds r%d, [r8]\n", a, dst)
+			default:
+				if rng.Intn(6) == 0 {
+					src += fmt.Sprintf("\t%s r%d, r%d\n",
+						unaryOps[rng.Intn(len(unaryOps))], dst, a)
+				} else {
+					src += fmt.Sprintf("\t%s r%d, r%d, r%d\n",
+						aluOps[rng.Intn(len(aluOps))], dst, a, c)
+				}
+			}
+		}
+		// Data-dependent forward branch over the next chunk.
+		src += fmt.Sprintf("\tand r6, r%d, 7\n", 3+rng.Intn(4))
+		src += fmt.Sprintf("\tisetp.%s p0, r6, %d\n",
+			[]string{"lt", "ge", "eq", "ne"}[rng.Intn(4)], rng.Intn(8))
+		src += fmt.Sprintf("\t@p0 bra B%d\n", b)
+		src += fmt.Sprintf("\tiadd r%d, r%d, %d\n", 3+rng.Intn(4), 3+rng.Intn(4), rng.Intn(100))
+		src += fmt.Sprintf("B%d:\n", b)
+	}
+	// Divergent loop: per-lane trip count.
+	src += "\tand r7, r2, 3\n\tmov r8, 0\nLOOP:\n"
+	src += "\tiadd r8, r8, 1\n\tiadd r3, r3, r8\n"
+	src += "\tisetp.le p1, r8, r7\n\t@p1 bra LOOP\n"
+	// Store the live registers so the global comparison sees them.
+	src += "\tshl r10, r1, 4\n\tiadd r10, $0, r10\n"
+	for i, r := range []int{3, 4, 5} {
+		src += fmt.Sprintf("\tstg [r10+%d], r%d\n", i*4, r)
+	}
+	src += "\texit\n"
+	return src
+}
+
+// TestSoAMatchesAoSReference runs randomized kernels through the lockstep
+// SoA-vs-AoS comparison at warp widths 32 and 64.
+func TestSoAMatchesAoSReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 30
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		width := 32
+		if trial%3 == 2 {
+			width = 64
+		}
+		runDiff(t, genDiffKernel(rng), width, int64(trial))
+	}
+}
+
+// TestSoAMatchesAoSOnFuzzCorpus replays the terminating seeds of the
+// assembler fuzz corpus (internal/asm FuzzAssemble) through the same
+// differential harness — tiny programs that hit operand-kind corners the
+// random generator under-samples.
+func TestSoAMatchesAoSOnFuzzCorpus(t *testing.T) {
+	seeds := []string{
+		"exit",
+		".kernel k\nmov r1, %tid.x\nexit",
+		"@p0 bra L\nL: exit",
+		"ldg r1, [r2+4]\nexit",
+		"isetp.lt p0, r1, r2\n@p0 exit\nexit",
+		"mov r1, 1.5\nstg [r1-8], r2\nexit",
+		"selp r1, r2, r3, p0\nexit",
+		"mov r1, %nctaid.x\nimad r2, %ctaid.x, %ntid.x, r1\nexit",
+	}
+	for i, src := range seeds {
+		runDiff(t, src, 32, int64(i))
+	}
+}

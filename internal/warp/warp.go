@@ -7,6 +7,7 @@ package warp
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gscalar/internal/isa"
 	"gscalar/internal/kernel"
@@ -15,6 +16,9 @@ import (
 // Mask is an active-lane mask; bit i set means lane i is active. A 64-bit
 // mask supports the paper's Figure 10 warp-size-64 sweep.
 type Mask = uint64
+
+// NumPreds is the number of per-lane predicate registers (p0..p7).
+const NumPreds = 8
 
 // FullMask returns a mask with the low n bits set.
 func FullMask(n int) Mask {
@@ -25,13 +29,17 @@ func FullMask(n int) Mask {
 }
 
 // PopCount returns the number of set bits in m.
-func PopCount(m Mask) int {
-	n := 0
-	for ; m != 0; m &= m - 1 {
-		n++
+func PopCount(m Mask) int { return bits.OnesCount64(m) }
+
+// laneIndex is the shared, read-only per-lane index vector backing the
+// %laneid special register for every warp (lanes are capped at 64).
+var laneIndex = func() [64]uint32 {
+	var v [64]uint32
+	for i := range v {
+		v[i] = uint32(i)
 	}
-	return n
-}
+	return v
+}()
 
 // StackEntry is one entry of the SIMT reconvergence stack.
 type StackEntry struct {
@@ -50,7 +58,11 @@ const (
 	StatusDone                  // all threads exited
 )
 
-// Warp holds the architectural state of one warp.
+// Warp holds the architectural state of one warp. Lane state is kept in
+// structure-of-arrays form: registers are one flat [reg*Width + lane] slice
+// (optionally carved from a shared per-SM arena, see NewStored), and the
+// predicate registers are stored as per-predicate lane masks, so predicate
+// reads are single mask operations instead of per-lane loops.
 type Warp struct {
 	ID       int  // warp index within its CTA
 	CTA      int  // linear CTA index within the grid
@@ -58,9 +70,11 @@ type Warp struct {
 	Width    int  // threads per warp (32 default; 64 for the Fig 10 sweep)
 	LiveMask Mask // lanes populated at launch (tail warps may be partial)
 
-	regs  []uint32 // [reg*Width + lane]
-	preds []uint8  // per-lane bitmask of the 8 predicate registers
+	regs  []uint32       // [reg*Width + lane]
+	preds [NumPreds]Mask // preds[p] bit i = predicate p of lane i
 	nregs int
+	wmask Mask     // FullMask(Width)
+	store []uint32 // the full backing chunk (regs + tid vectors)
 
 	// Per-lane special register values, fixed at launch.
 	tidX, tidY     []uint32
@@ -72,24 +86,47 @@ type Warp struct {
 	barrier bool // raised when the warp reaches a barrier; cleared by the SM
 }
 
+// StorageWords returns the number of uint32 words of backing storage one
+// warp needs: the register file plus the two thread-coordinate vectors.
+func StorageWords(numRegs, width int) int { return (numRegs + 2) * width }
+
 // New creates a warp of width lanes running prog with liveMask lanes
-// populated.
+// populated, with self-allocated lane storage.
 func New(globalID, ctaID, warpInCTA, width, numRegs int, liveMask Mask) *Warp {
+	return NewStored(globalID, ctaID, warpInCTA, width, numRegs, liveMask, nil)
+}
+
+// NewStored is New with caller-provided lane storage: store must be zeroed
+// and at least StorageWords(numRegs, width) long (nil allocates). Backing
+// the warps of an SM from one flat arena keeps their register state
+// contiguous and launch-time allocation-free.
+func NewStored(globalID, ctaID, warpInCTA, width, numRegs int, liveMask Mask, store []uint32) *Warp {
+	need := StorageWords(numRegs, width)
+	if store == nil {
+		store = make([]uint32, need)
+	} else if len(store) < need {
+		panic(fmt.Sprintf("warp: storage %d words, need %d", len(store), need))
+	}
 	w := &Warp{
 		ID:       warpInCTA,
 		CTA:      ctaID,
 		GlobalID: globalID,
 		Width:    width,
 		LiveMask: liveMask,
-		regs:     make([]uint32, numRegs*width),
-		preds:    make([]uint8, width),
+		regs:     store[:numRegs*width],
 		nregs:    numRegs,
-		tidX:     make([]uint32, width),
-		tidY:     make([]uint32, width),
+		wmask:    FullMask(width),
+		store:    store[:need],
+		tidX:     store[numRegs*width : (numRegs+1)*width],
+		tidY:     store[(numRegs+1)*width : (numRegs+2)*width],
 	}
 	w.stack = append(w.stack, StackEntry{PC: 0, RPC: -1, Mask: liveMask})
 	return w
 }
+
+// Storage returns the warp's backing chunk, for recycling into the arena it
+// was carved from once the warp's slot is released.
+func (w *Warp) Storage() []uint32 { return w.store }
 
 // SetThreadCoords sets a lane's thread coordinates within its CTA.
 func (w *Warp) SetThreadCoords(lane int, tidX, tidY uint32) {
@@ -115,25 +152,21 @@ func (w *Warp) Reg(lane int, r uint8) uint32 { return w.regs[int(r)*w.Width+lane
 func (w *Warp) SetReg(lane int, r uint8, v uint32) { w.regs[int(r)*w.Width+lane] = v }
 
 // PredMask returns the set of lanes whose predicate p is set (or clear, if
-// neg).
+// neg). With per-predicate mask storage this is a single mask select.
 func (w *Warp) PredMask(p uint8, neg bool) Mask {
-	var m Mask
-	bit := uint8(1) << p
-	for lane := 0; lane < w.Width; lane++ {
-		set := w.preds[lane]&bit != 0
-		if set != neg {
-			m |= 1 << lane
-		}
+	m := w.preds[p]
+	if neg {
+		m = ^m
 	}
-	return m
+	return m & w.wmask
 }
 
 func (w *Warp) setPred(lane int, p uint8, v bool) {
-	bit := uint8(1) << p
+	bit := Mask(1) << lane
 	if v {
-		w.preds[lane] |= bit
+		w.preds[p] |= bit
 	} else {
-		w.preds[lane] &^= bit
+		w.preds[p] &^= bit
 	}
 }
 

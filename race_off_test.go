@@ -1,0 +1,6 @@
+//go:build !race
+
+package gscalar_test
+
+// raceMultiplier scales perf-smoke ceilings; 1 without the race detector.
+const raceMultiplier = 1

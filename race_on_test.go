@@ -1,0 +1,7 @@
+//go:build race
+
+package gscalar_test
+
+// raceMultiplier scales perf-smoke ceilings: the race detector slows
+// simulation roughly an order of magnitude.
+const raceMultiplier = 20
