@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race skipdet valcancel telemetry perfsmoke fmt fmtcheck bench bench-parallel profile
+.PHONY: check build test vet race skipdet valcancel relaxdet telemetry perfsmoke fmt fmtcheck bench bench-parallel profile
 
-check: fmtcheck build test vet skipdet valcancel telemetry perfsmoke race
+check: fmtcheck build test vet skipdet valcancel relaxdet telemetry perfsmoke race
 
 build:
 	$(GO) build ./...
@@ -36,8 +36,19 @@ skipdet:
 valcancel:
 	$(GO) test -run 'TestConfig|TestValidate|TestNormalize|TestNewSession|TestCancel|TestDeadline' . ./internal/gpu
 
+# The -short root pass also drives the relaxed epoch loop (accuracy-envelope
+# subset + determinism), and internal/gpu's relaxed worker-invariance and
+# startup-order tests all run in short mode, so the detector covers the
+# epoch-parallel commit path.
 race:
 	$(GO) test -race -short . ./internal/gpu ./internal/experiments
+
+# Relaxed-loop differential oracle: the full 17-workload x 2-architecture
+# accuracy envelope against the serial loop plus the (Workers, EpochCycles)
+# determinism contract — root-level over real workloads, internal/gpu-level
+# for worker-startup-order and functional-correctness properties.
+relaxdet:
+	$(GO) test -run 'TestRelaxed|TestResolveWorkers' . ./internal/gpu
 
 # Telemetry gate: the registry/recorder unit tests, the exporter goldens
 # (JSON/CSV/Chrome-trace shape), and the telemetry-on-vs-off bit-identity

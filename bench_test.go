@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"reflect"
 	"runtime"
@@ -300,29 +301,60 @@ func benchCfg(workers int, disableSkip bool) gscalar.Config {
 	return cfg
 }
 
-// parallelSnapshot is one row of BENCH_parallel.json: the phased loop at a
-// given worker count measured against the legacy serial loop. host_cores
-// matters — on a single-core host the phased loop cannot beat the serial
-// one and speedup ~1 is expected; the multi-worker rows exist so a
-// multi-core host's numbers land in review without editing the harness.
+// parallelSnapshot is one row of BENCH_parallel.json: one parallel loop
+// (phased per-cycle, or relaxed at a given epoch length) at one worker
+// count, measured against the legacy serial loop on the same workload.
+// host_cores matters — on a single-core host no loop can beat the serial
+// one and speedup_vs_serial ~1/overhead is expected; the multi-worker rows
+// exist so a multi-core host's numbers land in review without editing the
+// harness. cycle_delta_pct (relaxed rows only) is the simulated-cycle
+// deviation from the serial oracle; identical_results asserts bit-identity
+// with the loop's own workers=1 run, which holds for every mode — for the
+// relaxed loop worker count is pure execution parallelism and only
+// EpochCycles is a model parameter.
 type parallelSnapshot struct {
 	Workload         string  `json:"workload"`
 	Arch             string  `json:"arch"`
 	ConfigHash       string  `json:"config_hash"`
 	Scale            int     `json:"scale"`
 	HostCores        int     `json:"host_cores"`
+	Mode             string  `json:"mode"`
+	EpochCycles      int     `json:"epoch_cycles,omitempty"`
 	Workers          int     `json:"workers"`
 	Cycles           uint64  `json:"cycles"`
 	SerialSeconds    float64 `json:"serial_seconds"`
 	ParallelSeconds  float64 `json:"parallel_seconds"`
-	Speedup          float64 `json:"speedup"`
+	SpeedupVsSerial  float64 `json:"speedup_vs_serial"`
+	CycleDeltaPct    float64 `json:"cycle_delta_pct,omitempty"`
 	IdenticalResults bool    `json:"identical_results"`
 }
 
-// BenchmarkParallelSpeedup compares the legacy serial simulation loop
-// (Workers=0) against the phased parallel loop at worker counts 1, 2, 4,
-// and one-per-host-core, checks worker-count determinism on the way, and
-// writes every point to BENCH_parallel.json:
+// parallelBench is the BENCH_parallel.json document: a context note plus the
+// measured rows.
+type parallelBench struct {
+	Note string             `json:"note"`
+	Rows []parallelSnapshot `json:"rows"`
+}
+
+// timedRunEpoch is timedRun on the relaxed loop at the given epoch length.
+func timedRunEpoch(b *testing.B, abbr string, workers, epoch int) (gscalar.Result, float64) {
+	b.Helper()
+	cfg := benchCfg(workers, false)
+	cfg.EpochCycles = epoch
+	t0 := time.Now()
+	res, err := runWorkloadVia(b, cfg, gscalar.GScalar, abbr, *benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res, time.Since(t0).Seconds()
+}
+
+// BenchmarkParallelSpeedup measures, for the three largest workloads (HS,
+// LBM, MG), the legacy serial loop against the phased per-cycle loop and
+// the relaxed epoch loop (epochs 64 and 256) at worker counts 1, 2, 4, 8,
+// checks each loop's worker-count determinism on the way, records the
+// relaxed rows' cycle deviation from the serial oracle, and writes every
+// point to BENCH_parallel.json:
 //
 //	go test -bench ParallelSpeedup -benchtime 1x -run '^$'
 //
@@ -330,59 +362,94 @@ type parallelSnapshot struct {
 // isolates the loop-structure comparison; BENCH_core.json carries the
 // skip-on/off comparison.
 func BenchmarkParallelSpeedup(b *testing.B) {
-	const abbr = "HS"
+	workloads := []string{"HS", "LBM", "MG"}
+	epochs := []int{64, 256}
 	cores := runtime.GOMAXPROCS(0)
-	workerPoints := []int{1, 2, 4, cores}
+	workerPoints := []int{1, 2, 4, 8}
 
-	var serial gscalar.Result
-	var serialSec float64
+	var snaps []parallelSnapshot
+	var bestRelaxed float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		serial, serialSec = timedRun(b, abbr, 0, false)
+		snaps = snaps[:0]
+		bestRelaxed = 0
+		for _, abbr := range workloads {
+			serial, serialSec := timedRun(b, abbr, 0, false)
+			row := func(mode string, epoch, workers int, res gscalar.Result, sec float64, hash string) parallelSnapshot {
+				snap := parallelSnapshot{
+					Workload:        abbr,
+					Arch:            gscalar.GScalar.String(),
+					ConfigHash:      hash,
+					Scale:           *benchScale,
+					HostCores:       cores,
+					Mode:            mode,
+					EpochCycles:     epoch,
+					Workers:         workers,
+					Cycles:          res.Cycles,
+					SerialSeconds:   serialSec,
+					ParallelSeconds: sec,
+					SpeedupVsSerial: serialSec / sec,
+				}
+				if mode == "relaxed" {
+					snap.CycleDeltaPct = math.Abs(float64(res.Cycles)-float64(serial.Cycles)) /
+						float64(serial.Cycles) * 100
+				}
+				return snap
+			}
+			// Each loop's workers=1 run is its determinism reference; the
+			// serial loop is a different machine (stores become visible
+			// within the issuing cycle) and serves as the timing oracle.
+			var phasedRef gscalar.Result
+			relaxedRef := map[int]gscalar.Result{}
+			for wi, workers := range workerPoints {
+				par, parSec := timedRun(b, abbr, workers, false)
+				if wi == 0 {
+					phasedRef = par
+				} else if !reflect.DeepEqual(stripExecMeta(phasedRef), stripExecMeta(par)) {
+					b.Fatalf("%s: phased loop nondeterministic: workers=%d differs from workers=%d",
+						abbr, workers, workerPoints[0])
+				}
+				snap := row("phased", 0, workers, par, parSec, benchCfg(workers, false).Hash())
+				snap.IdenticalResults = true
+				snaps = append(snaps, snap)
+
+				for _, epoch := range epochs {
+					rel, relSec := timedRunEpoch(b, abbr, workers, epoch)
+					if wi == 0 {
+						relaxedRef[epoch] = rel
+					} else if !reflect.DeepEqual(stripExecMeta(relaxedRef[epoch]), stripExecMeta(rel)) {
+						b.Fatalf("%s: relaxed loop (epoch=%d) nondeterministic: workers=%d differs from workers=%d",
+							abbr, epoch, workers, workerPoints[0])
+					}
+					cfg := benchCfg(workers, false)
+					cfg.EpochCycles = epoch
+					snap := row("relaxed", epoch, workers, rel, relSec, cfg.Hash())
+					snap.IdenticalResults = true
+					snaps = append(snaps, snap)
+					if snap.SpeedupVsSerial > bestRelaxed {
+						bestRelaxed = snap.SpeedupVsSerial
+					}
+				}
+			}
+		}
 	}
 	b.StopTimer()
-
-	// The phased loop must be deterministic across worker counts (the
-	// serial loop is a different machine — stores become visible within
-	// the issuing cycle — so it is a timing baseline, not a reference).
-	var phasedRef gscalar.Result
-	var snaps []parallelSnapshot
-	seen := map[int]bool{}
-	for _, workers := range workerPoints {
-		if seen[workers] {
-			continue
-		}
-		seen[workers] = true
-		par, parSec := timedRun(b, abbr, workers, false)
-		if len(snaps) == 0 {
-			phasedRef = par
-		} else if !reflect.DeepEqual(phasedRef, par) {
-			b.Fatalf("phased loop nondeterministic: workers=%d differs from workers=%d",
-				workers, snaps[0].Workers)
-		}
-		snaps = append(snaps, parallelSnapshot{
-			Workload:         abbr,
-			Arch:             gscalar.GScalar.String(),
-			ConfigHash:       benchCfg(workers, false).Hash(),
-			Scale:            *benchScale,
-			HostCores:        cores,
-			Workers:          workers,
-			Cycles:           par.Cycles,
-			SerialSeconds:    serialSec,
-			ParallelSeconds:  parSec,
-			Speedup:          serialSec / parSec,
-			IdenticalResults: true,
-		})
-	}
-	best := snaps[len(snaps)-1]
-	b.ReportMetric(best.Speedup, "speedup")
+	b.ReportMetric(bestRelaxed, "best-relaxed-speedup")
 	b.ReportMetric(float64(cores), "cores")
-	if serial.Cycles != phasedRef.Cycles {
-		// Expected: the loops differ in same-cycle store visibility. A gap
-		// beyond a few cycles on a real workload would be a bug.
-		b.Logf("note: serial cycles %d vs phased %d", serial.Cycles, phasedRef.Cycles)
+	doc := parallelBench{
+		Note: "speedup_vs_serial is wall-clock of the legacy serial loop over the row's loop " +
+			"on the same workload. host_cores=1 on this container: every loop shares one core, " +
+			"so all speedups measure coordination overhead only (~1x is the ceiling) — the " +
+			"workers=2/4/8 rows exist so a multi-core host's numbers land by rerunning " +
+			"`make bench-parallel`, where the relaxed loop's once-per-epoch barrier is " +
+			"designed to scale and the phased loop's per-cycle barrier is the contrast. " +
+			"identical_results is bit-identity with the same loop at workers=1 (worker count " +
+			"never changes simulation output in either mode); relaxed rows additionally " +
+			"record cycle_delta_pct, the simulated-cycle deviation from the serial oracle " +
+			"(bounded by the envelope asserted in relaxed_test.go).",
+		Rows: snaps,
 	}
-	out, err := json.MarshalIndent(snaps, "", "  ")
+	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -520,7 +587,7 @@ func BenchmarkCoreSpeedup(b *testing.B) {
 				// counts (the serial loop differs in same-cycle store
 				// visibility, so it is the timing baseline, not the
 				// phased reference).
-				if !reflect.DeepEqual(phased1, phasedN) {
+				if !reflect.DeepEqual(stripExecMeta(phased1), stripExecMeta(phasedN)) {
 					b.Fatalf("%s: phased loop nondeterministic across worker counts", abbr)
 				}
 				add("phased-skip", cores, true, phasedN, secN)

@@ -49,6 +49,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write per-point Chrome trace-event files into this directory")
 	parallel := flag.Int("parallel", 1, "simulate up to N (arch, workload) points concurrently; output is identical to -parallel 1")
 	workers := flag.Int("workers", 0, "phased-loop compute workers per simulation (0 = legacy serial loop, -1 = one per host core)")
+	relaxed := flag.Bool("relaxed", false, "use the epoch-based relaxed-sync parallel loop (deterministic, not bit-identical to serial; scales with -workers)")
+	epoch := flag.Int("epoch", 0, "relaxed-loop epoch length in simulated cycles (implies -relaxed; 0 with -relaxed = default 64)")
 	configPath := flag.String("config", "", "load the chip configuration from this JSON file (explicit flags override it)")
 	dumpConfig := flag.Bool("dump-config", false, "print the effective configuration as canonical JSON (stdout) and its content hash (stderr), then exit")
 	timeout := flag.Duration("timeout", 0, "stop simulating after this wall-clock duration")
@@ -90,6 +92,10 @@ func main() {
 			}
 		case "workers":
 			cfg.Workers = *workers
+		case "relaxed":
+			cfg.Relaxed = *relaxed
+		case "epoch":
+			cfg.EpochCycles = *epoch
 		}
 	})
 	if *dumpConfig {

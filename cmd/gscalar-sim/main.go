@@ -49,6 +49,8 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "print the per-component power breakdown")
 	all := flag.Bool("all", false, "run every Table 2 benchmark and print a summary table")
 	workers := flag.Int("workers", 0, "phased-loop compute workers (0 = legacy serial loop, -1 = one per host core)")
+	relaxed := flag.Bool("relaxed", false, "use the epoch-based relaxed-sync parallel loop (deterministic, not bit-identical to serial; scales with -workers)")
+	epoch := flag.Int("epoch", 0, "relaxed-loop epoch length in simulated cycles (implies -relaxed; 0 with -relaxed = default 64)")
 	noskip := flag.Bool("noskip", false, "disable event-driven idle-cycle skipping (results are identical either way)")
 	configPath := flag.String("config", "", "load the chip configuration from this JSON file (explicit flags override it)")
 	dumpConfig := flag.Bool("dump-config", false, "print the effective configuration as canonical JSON (stdout) and its content hash (stderr), then exit")
@@ -100,6 +102,10 @@ func main() {
 			}
 		case "workers":
 			cfg.Workers = *workers
+		case "relaxed":
+			cfg.Relaxed = *relaxed
+		case "epoch":
+			cfg.EpochCycles = *epoch
 		case "noskip":
 			cfg.DisableIdleSkip = *noskip
 		}

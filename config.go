@@ -14,13 +14,26 @@ import (
 // the CLIs' -config/-dump-config flags, and Hash provides the canonical
 // content identity the experiment cache and benchmark snapshots key on.
 
+// DefaultEpochCycles is the relaxed loop's epoch length when Relaxed is set
+// without an explicit EpochCycles.
+const DefaultEpochCycles = 64
+
 // Normalize fills zero-valued structural fields with their Table 1 defaults
 // (DefaultConfig values), so a sparse configuration — e.g. a JSON file that
 // only overrides NumSMs — denotes "Table 1 with these changes". MaxCycles,
 // Workers, and DisableIdleSkip keep their zero values: zero is meaningful
-// for all three (default bound, legacy serial loop, skipping enabled).
+// for all three (default bound, legacy serial loop, skipping enabled). The
+// relaxed-mode pair is canonicalized: a positive EpochCycles implies
+// Relaxed, and Relaxed without an epoch length takes DefaultEpochCycles, so
+// the two spellings of the same simulation hash identically.
 func (c *Config) Normalize() {
 	d := DefaultConfig()
+	if c.EpochCycles > 0 {
+		c.Relaxed = true
+	}
+	if c.Relaxed && c.EpochCycles == 0 {
+		c.EpochCycles = DefaultEpochCycles
+	}
 	if c.NumSMs == 0 {
 		c.NumSMs = d.NumSMs
 	}
@@ -125,6 +138,12 @@ func (c Config) Validate() error {
 	}
 	if c.MemChannels < 1 {
 		return bad("MemChannels", "need at least 1 DRAM channel, got %d", c.MemChannels)
+	}
+	if c.EpochCycles < 0 {
+		return bad("EpochCycles", "epoch length cannot be negative, got %d", c.EpochCycles)
+	}
+	if c.Relaxed && c.EpochCycles < 1 {
+		return bad("EpochCycles", "relaxed mode needs a positive epoch length (Normalize fills the default), got %d", c.EpochCycles)
 	}
 	return nil
 }

@@ -35,6 +35,8 @@ func TestValidateInvalid(t *testing.T) {
 		{"zero L1", func(c *Config) { c.L1Bytes = -1 }, "L1Bytes"},
 		{"zero L2", func(c *Config) { c.L2Bytes = -1 }, "L2Bytes"},
 		{"zero channels", func(c *Config) { c.MemChannels = -1 }, "MemChannels"},
+		{"negative epoch", func(c *Config) { c.EpochCycles = -64 }, "EpochCycles"},
+		{"relaxed without epoch", func(c *Config) { c.Relaxed = true }, "EpochCycles"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -102,11 +104,55 @@ func TestNormalizeFillsDefaults(t *testing.T) {
 	}
 }
 
+// TestNormalizeEpochCycles pins the canonicalization of the relaxed-mode
+// pair: a positive EpochCycles implies Relaxed, Relaxed without an epoch
+// length takes DefaultEpochCycles, and the two spellings of the same mode
+// hash identically after Normalize. EpochCycles=0 without Relaxed must stay
+// zero (phased/serial selection is untouched).
+func TestNormalizeEpochCycles(t *testing.T) {
+	c := DefaultConfig()
+	c.EpochCycles = 128
+	c.Normalize()
+	if !c.Relaxed {
+		t.Error("positive EpochCycles did not imply Relaxed")
+	}
+
+	c = DefaultConfig()
+	c.Relaxed = true
+	c.Normalize()
+	if c.EpochCycles != DefaultEpochCycles {
+		t.Errorf("Relaxed without epoch normalized to EpochCycles=%d, want %d",
+			c.EpochCycles, DefaultEpochCycles)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("normalized relaxed config invalid: %v", err)
+	}
+
+	c = DefaultConfig()
+	c.Normalize()
+	if c.Relaxed || c.EpochCycles != 0 {
+		t.Error("Normalize turned on relaxed mode for a default config")
+	}
+
+	implicit := DefaultConfig()
+	implicit.EpochCycles = 128
+	implicit.Normalize()
+	explicit := DefaultConfig()
+	explicit.EpochCycles = 128
+	explicit.Relaxed = true
+	explicit.Normalize()
+	if implicit.Hash() != explicit.Hash() {
+		t.Error("the two spellings of relaxed epoch=128 hash differently after Normalize")
+	}
+}
+
 func TestConfigJSONRoundTrip(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumSMs = 4
 	cfg.Workers = 3
 	cfg.DisableIdleSkip = true
+	cfg.Relaxed = true
+	cfg.EpochCycles = 256
 	blob, err := cfg.JSON()
 	if err != nil {
 		t.Fatal(err)
@@ -183,6 +229,11 @@ func TestConfigHashProperties(t *testing.T) {
 	mut.MaxCycles = 100
 	if mut.Hash() == base.Hash() {
 		t.Error("MaxCycles change kept the hash")
+	}
+	mut = base
+	mut.EpochCycles = 128
+	if mut.Hash() == base.Hash() {
+		t.Error("EpochCycles change kept the hash")
 	}
 
 	// Zero-valued fields are omitted from the canonical form, so a config

@@ -151,6 +151,22 @@ type Config struct {
 	// wall-clock time. See docs/architecture.md, "Parallel execution
 	// model".
 	Workers int
+	// Relaxed selects the epoch-based relaxed-synchronization loop: workers
+	// advance their SMs up to EpochCycles simulated cycles between
+	// rendezvous over the shared L2/DRAM system instead of barriering every
+	// cycle, which is what lets multi-worker simulation actually scale.
+	// Unlike the phased loop its results are not bit-identical to the serial
+	// oracle — they carry a small, measured timing delta (see
+	// docs/architecture.md, "Relaxed epoch-parallel execution") — but a
+	// fixed EpochCycles value is deterministic across repeated runs and
+	// every worker count.
+	Relaxed bool
+	// EpochCycles is the relaxed loop's epoch length in simulated cycles.
+	// 0 with Relaxed set takes DefaultEpochCycles; a positive value implies
+	// Relaxed (Normalize canonicalizes the pair); 0 without Relaxed keeps
+	// the per-cycle loops selected by Workers. Shorter epochs track the
+	// serial oracle more closely, longer ones synchronize less often.
+	EpochCycles int
 	// DisableIdleSkip turns off event-driven idle-cycle skipping (on by
 	// default). Skipping never changes simulated results — it fast-forwards
 	// over cycles in which no SM could mutate any state — so the flag only
@@ -186,6 +202,12 @@ func (c Config) toGPU() gpu.Config {
 	g.L2Bytes = c.L2Bytes
 	g.MaxCycles = c.MaxCycles
 	g.Workers = c.Workers
+	if c.Relaxed {
+		g.EpochCycles = c.EpochCycles
+		if g.EpochCycles == 0 {
+			g.EpochCycles = DefaultEpochCycles
+		}
+	}
 	g.DisableIdleSkip = c.DisableIdleSkip
 	g.MemTiming.NumChannels = c.MemChannels
 	g.SM.WarpSize = c.WarpSize
@@ -254,6 +276,15 @@ type Result struct {
 	// PowerByComponent maps component names ("exec_alu", "rf_array",
 	// "dram", "static", ...) to watts.
 	PowerByComponent map[string]float64 `json:"power_by_component"`
+
+	// ExecMode ("serial", "phased", or "relaxed") and ResolvedWorkers record
+	// how the run actually executed — the chip loop and the compute-worker
+	// count after the crossover heuristics — so benches and callers can
+	// assert what ran rather than what was requested. They describe the
+	// execution, not the simulated machine: serial, phased, and every phased
+	// worker count produce bit-identical simulation outputs.
+	ExecMode        string `json:"exec_mode,omitempty"`
+	ResolvedWorkers int    `json:"resolved_workers,omitempty"`
 }
 
 // resultFrom converts an internal run result.
@@ -300,6 +331,8 @@ func resultFrom(r gpu.Result) Result {
 		CompressionRatio: st.CompressionRatio(),
 		MoveOverhead:     st.MoveOverhead(),
 		DRAMTransactions: st.DRAMTransactions,
+		ExecMode:         r.ExecMode,
+		ResolvedWorkers:  r.Workers,
 	}
 	if st.L1Accesses > 0 {
 		out.L1MissRate = float64(st.L1Misses) / float64(st.L1Accesses)

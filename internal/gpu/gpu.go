@@ -35,6 +35,15 @@ type Config struct {
 	// Workers != 0 values produce bit-identical results; the worker count
 	// only changes wall-clock time.
 	Workers int
+	// EpochCycles, when positive, selects the relaxed epoch-parallel loop:
+	// workers advance their SMs up to EpochCycles cycles between rendezvous
+	// over the shared L2/DRAM system, committing deferred traffic in
+	// ascending SM-id order at each epoch boundary. Unlike the phased loop
+	// it is not bit-identical to the serial loop — beyond-L1 completion
+	// times inside an epoch are estimates against the frozen shared state —
+	// but a fixed EpochCycles value is deterministic for every worker count
+	// and across repeated runs. 0 keeps the per-cycle modes above.
+	EpochCycles int
 	// DisableIdleSkip turns off event-driven idle skipping: by default both
 	// loops fast-forward the cycle counter to the chip's next-event cycle
 	// whenever every SM is quiescent (no ready warps, no live operand
@@ -95,6 +104,14 @@ type Result struct {
 	IPC     float64 // committed warp instructions per cycle (chip-wide)
 	IPCPerW float64 // the paper's power-efficiency metric
 	EnergyJ float64
+	// ExecMode and Workers record how the run actually executed — the chip
+	// loop ("serial", "phased", or "relaxed") and the resolved compute-worker
+	// count after the crossover heuristics — so benches and callers can
+	// assert what ran rather than what was requested. They describe the
+	// execution, not the simulated machine: serial, phased, and every phased
+	// worker count produce bit-identical simulation outputs.
+	ExecMode string
+	Workers  int
 }
 
 // Run simulates prog with launch lc on memory gmem under arch. It is
@@ -124,11 +141,13 @@ func RunContext(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Prog
 		cfg.Telemetry.Finalize()
 	}
 	res := Result{
-		Cycles:  r.Cycles,
-		Stats:   r.Stats,
-		Power:   bd,
-		IPC:     r.Stats.IPC(),
-		EnergyJ: bd.EnergyJ,
+		Cycles:   r.Cycles,
+		Stats:    r.Stats,
+		Power:    bd,
+		IPC:      r.Stats.IPC(),
+		EnergyJ:  bd.EnergyJ,
+		ExecMode: r.Mode,
+		Workers:  r.Workers,
 	}
 	if bd.AvgPowerW > 0 {
 		res.IPCPerW = res.IPC / bd.AvgPowerW
@@ -143,11 +162,21 @@ func isContextErr(err error) bool {
 }
 
 // rawResult is a simulation outcome before power finalisation, so launch
-// sequences can share one energy meter.
+// sequences can share one energy meter. Mode and Workers record the chip
+// loop that ran and its resolved compute-worker count.
 type rawResult struct {
-	Cycles uint64
-	Stats  stats.Sim
+	Cycles  uint64
+	Stats   stats.Sim
+	Mode    string
+	Workers int
 }
+
+// Execution-mode names recorded in rawResult.Mode / Result.ExecMode.
+const (
+	modeSerial  = "serial"
+	modePhased  = "phased"
+	modeRelaxed = "relaxed"
+)
 
 // ctaDispatcher assigns pending CTAs to SMs with capacity, round-robin from
 // a rotating start index: each assignment resumes the scan at the SM after
@@ -193,15 +222,19 @@ func (cfg Config) effectiveMaxCycles() uint64 {
 }
 
 // runWithMeter is the shared simulation entry: it deposits energy into the
-// caller's meter and returns cycle/statistics totals. Config.Workers picks
-// the loop: 0 is the legacy serial loop; anything else is the phased loop,
-// whose results are bit-identical for every worker count.
+// caller's meter and returns cycle/statistics totals. Config.EpochCycles > 0
+// selects the relaxed epoch loop; otherwise Config.Workers picks the
+// per-cycle loop: 0 is the legacy serial loop; anything else is the phased
+// loop, whose results are bit-identical for every worker count.
 func runWithMeter(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Program, lc *kernel.LaunchConfig, gmem *kernel.Memory, meter *power.Meter) (rawResult, error) {
 	if err := lc.Validate(cfg.SM.MaxWarps * cfg.SM.WarpSize); err != nil {
 		return rawResult{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return rawResult{}, fmt.Errorf("gpu: cancelled before cycle 0: %w", err)
+	}
+	if cfg.EpochCycles > 0 {
+		return runRelaxed(ctx, cfg, arch, prog, lc, gmem, meter)
 	}
 	if cfg.Workers != 0 {
 		return runPhased(ctx, cfg, arch, prog, lc, gmem, meter)
@@ -295,7 +328,7 @@ func runSerial(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Progr
 	for i := range sms {
 		sms[i] = sm.New(i, cfg.SM, arch, cfg.Energies, prog, lc, gmem, msys, meter)
 	}
-	tel := bindTelemetry(cfg, sms, []*power.Meter{meter}, meter, msys)
+	tel := bindTelemetry(cfg, sms, []*power.Meter{meter}, meter, msys, modeSerial, 1)
 	lf := newLifecycle(ctx, cfg, tel)
 
 	disp := ctaDispatcher{total: lc.Grid.Count()}
@@ -336,12 +369,12 @@ func runSerial(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Progr
 		}
 		if err := lf.checkpoint(sms, cycle); err != nil {
 			lf.finalSample(cycle)
-			return finishRun(sms, cycle), err
+			return finishRun(sms, cycle, modeSerial, 1), err
 		}
 	}
 
 	lf.finalSample(cycle)
-	return finishRun(sms, cycle), nil
+	return finishRun(sms, cycle, modeSerial, 1), nil
 }
 
 // nextEventCycle folds the per-SM next-event reports into a chip-wide skip
@@ -366,12 +399,13 @@ func nextEventCycle(sms []*sm.SM) (uint64, bool) {
 	return next, true
 }
 
-// finishRun aggregates per-SM statistics in ascending id order.
-func finishRun(sms []*sm.SM, cycle uint64) rawResult {
+// finishRun aggregates per-SM statistics in ascending id order and stamps
+// the execution mode and resolved worker count the run used.
+func finishRun(sms []*sm.SM, cycle uint64, mode string, workers int) rawResult {
 	var agg stats.Sim
 	for _, s := range sms {
 		agg.Add(s.Stats())
 	}
 	agg.Cycles = cycle
-	return rawResult{Cycles: cycle, Stats: agg}
+	return rawResult{Cycles: cycle, Stats: agg, Mode: mode, Workers: workers}
 }

@@ -26,9 +26,18 @@ func resolveWorkers(cfg Config, totalCTAs int) int {
 	if w > cfg.NumSMs {
 		w = cfg.NumSMs
 	}
-	// Crossover: fewer CTAs than SMs leaves cores idle every cycle, and a
-	// single-SM chip has nothing to overlap.
-	if cfg.NumSMs < 2 || totalCTAs < cfg.NumSMs {
+	// A single-SM chip — or a single CTA — has nothing to overlap in any
+	// mode.
+	if cfg.NumSMs < 2 || totalCTAs < 2 {
+		return 1
+	}
+	// Crossover, phased mode only: fewer CTAs than SMs leaves cores idle
+	// every cycle there, so the per-cycle barrier costs more than it saves.
+	// The relaxed mode's barrier is per-epoch, not per-cycle, so even
+	// launches that occupy only a few SMs amortise it — clamping those to
+	// one worker would silently discard the parallelism the caller asked
+	// for.
+	if cfg.EpochCycles == 0 && totalCTAs < cfg.NumSMs {
 		return 1
 	}
 	if w < 1 {
@@ -111,10 +120,11 @@ func runPhased(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Progr
 		sms[i] = sm.New(i, cfg.SM, arch, cfg.Energies, prog, lc, gmem, msys, meters[i])
 		sms[i].EnablePhased()
 	}
+	workers := resolveWorkers(cfg, lc.Grid.Count())
 	// Final counter gauges register on the caller's meter (which the per-SM
 	// meters merge into on exit); mid-run energy samples sum the live per-SM
 	// meters plus the caller's, which carries earlier launches of a sequence.
-	tel := bindTelemetry(cfg, sms, append(append([]*power.Meter{}, meters...), meter), meter, msys)
+	tel := bindTelemetry(cfg, sms, append(append([]*power.Meter{}, meters...), meter), meter, msys, modePhased, workers)
 	lf := newLifecycle(ctx, cfg, tel)
 	// Merge the per-SM meters in ascending id order on every exit path so
 	// launch sequences keep accumulating energy across launches.
@@ -124,7 +134,6 @@ func runPhased(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Progr
 		}
 	}()
 
-	workers := resolveWorkers(cfg, lc.Grid.Count())
 	var pool *smPool
 	if workers > 1 {
 		pool = newSMPool(sms, workers)
@@ -181,10 +190,10 @@ func runPhased(ctx context.Context, cfg Config, arch sm.Arch, prog *kernel.Progr
 		// reads SM state race-free, exactly like the idle-skip probe above.
 		if err := lf.checkpoint(sms, cycle); err != nil {
 			lf.finalSample(cycle)
-			return finishRun(sms, cycle), err
+			return finishRun(sms, cycle, modePhased, workers), err
 		}
 	}
 
 	lf.finalSample(cycle)
-	return finishRun(sms, cycle), nil
+	return finishRun(sms, cycle, modePhased, workers), nil
 }

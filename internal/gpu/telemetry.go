@@ -24,8 +24,10 @@ type chipSampler struct {
 // and returns the sampler the lifecycle drives. Returns nil when telemetry
 // is disabled. finalMeter is the meter Finish will run on (the caller's
 // cumulative meter); liveMeters are the ones energy accumulates into during
-// the launch, for mid-run samples.
-func bindTelemetry(cfg Config, sms []*sm.SM, liveMeters []*power.Meter, finalMeter *power.Meter, msys *mem.System) *chipSampler {
+// the launch, for mid-run samples. mode and workers record the chip loop
+// that is about to run and its resolved worker count, so exported metrics
+// state what actually executed.
+func bindTelemetry(cfg Config, sms []*sm.SM, liveMeters []*power.Meter, finalMeter *power.Meter, msys *mem.System, mode string, workers int) *chipSampler {
 	rec := cfg.Telemetry
 	if rec == nil {
 		return nil
@@ -47,6 +49,8 @@ func bindTelemetry(cfg Config, sms []*sm.SM, liveMeters []*power.Meter, finalMet
 		NumSMs:           len(sms),
 		EnergyComponents: power.ComponentNames(),
 		RFAccessClasses:  rfClasses,
+		ExecMode:         mode,
+		Workers:          workers,
 	})
 	reg := rec.Registry()
 	for _, s := range sms {

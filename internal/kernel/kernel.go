@@ -230,27 +230,62 @@ func (m *Memory) store8(addr uint32, b byte) { m.page(addr)[addr%pageSize] = b }
 // mode deterministic for any worker count.
 type StoreBuffer struct {
 	ops []storeOp
+	// overlay, when enabled, tracks the latest buffered value per address so
+	// loads can read through the buffer. The relaxed epoch mode needs it:
+	// stores stay buffered for up to a whole epoch there, and a warp reading
+	// back its own SM's recent global store must see the value a serial
+	// simulation would have made visible within a cycle. The phased mode
+	// leaves the overlay disabled — its buffers flush every cycle, so loads
+	// reading memory as of the previous cycle is already the contract.
+	overlay map[uint32]uint32
 }
 
 type storeOp struct {
 	addr, val uint32
 }
 
+// EnableOverlay switches the buffer into read-through mode (see overlay).
+func (b *StoreBuffer) EnableOverlay() {
+	b.overlay = make(map[uint32]uint32)
+}
+
 // Store32 records a deferred 4-byte store.
 func (b *StoreBuffer) Store32(addr, val uint32) {
 	b.ops = append(b.ops, storeOp{addr, val})
+	if b.overlay != nil {
+		b.overlay[addr] = val
+	}
 }
 
 // Len returns the number of buffered stores.
 func (b *StoreBuffer) Len() int { return len(b.ops) }
 
+// ReadThrough reports whether loads must consult the buffer before global
+// memory: the overlay is enabled and at least one store is pending. It is
+// nil-safe so the warp execution hot path can branch on it once per
+// instruction.
+func (b *StoreBuffer) ReadThrough() bool {
+	return b != nil && len(b.overlay) > 0
+}
+
+// Load32 returns the latest buffered value for addr, if any. Valid only
+// with the overlay enabled.
+func (b *StoreBuffer) Load32(addr uint32) (uint32, bool) {
+	v, ok := b.overlay[addr]
+	return v, ok
+}
+
 // Flush applies the buffered stores to m in insertion order and empties the
-// buffer.
+// buffer. Flushed values are visible in m itself, so the overlay empties
+// too.
 func (b *StoreBuffer) Flush(m *Memory) {
 	for _, op := range b.ops {
 		m.Store32(op.addr, op.val)
 	}
 	b.ops = b.ops[:0]
+	if len(b.overlay) > 0 {
+		clear(b.overlay)
+	}
 }
 
 // WriteU32 stores the slice of words starting at base. It panics with a

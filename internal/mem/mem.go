@@ -136,6 +136,23 @@ func (c *Cache) Lookup(addr uint32, allocate bool) bool {
 	return false
 }
 
+// Probe reports whether the line containing addr is present, without
+// touching LRU state or allocating. It is the read-only Lookup the relaxed
+// epoch mode uses to estimate access latency from the compute phase: many
+// goroutines may Probe one cache concurrently as long as nothing mutates it,
+// which the epoch rendezvous guarantees (all Lookup/Invalidate calls happen
+// in the serial commit phase).
+func (c *Cache) Probe(addr uint32) bool {
+	set := c.sets[(addr>>c.setShift)&c.setMask]
+	tag := addr >> c.setShift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
 // Invalidate drops the line containing addr if present (used by
 // write-evict stores).
 func (c *Cache) Invalidate(addr uint32) {
@@ -255,3 +272,72 @@ func (s *System) drainToDRAM(at uint64, line uint32) uint64 {
 
 // Timing returns the system's timing parameters.
 func (s *System) Timing() Timing { return s.timing }
+
+// EstimateAccess predicts what AccessL2 would return for a load issued at
+// core cycle now, without mutating any shared state: the L2 probe skips the
+// LRU update and never allocates, and the DRAM-channel backlog is read but
+// not advanced. The relaxed epoch mode calls it from the concurrent compute
+// phase — it is safe exactly because the shared memory system is frozen
+// between epoch rendezvous — and feeds the estimate to the SM as the load's
+// completion time. The estimate ignores queueing behind transactions
+// deferred in the same epoch (they have not committed yet), which is the
+// timing slack the relaxed mode's accuracy bound covers; backlog committed
+// in earlier epochs is fully visible through chanFree.
+func (s *System) EstimateAccess(now uint64, line uint32) uint64 {
+	t := s.timing
+	arriveL2 := now + uint64(t.NoCLatency)
+	if s.l2.Probe(line) {
+		return arriveL2 + uint64(t.L2Latency) + uint64(t.NoCLatency)
+	}
+	at := arriveL2 + uint64(t.L2Latency)
+	start := at
+	if free := s.chanFree[s.channelOf(line)]; free > start {
+		start = free
+	}
+	return start + uint64(t.DRAMBurst) + uint64(t.DRAMLatency) + uint64(t.NoCLatency)
+}
+
+// DeferredTx is one beyond-L1 transaction buffered by the relaxed epoch
+// mode: the issuing core cycle, the 128-byte line, and the direction.
+type DeferredTx struct {
+	Cycle uint64
+	Line  uint32
+	Write bool
+}
+
+// TxBuffer accumulates an SM's deferred transactions over one epoch, in
+// issue order (ascending cycle), so committing buffers SM by SM yields the
+// deterministic (SM-index, cycle) commit order the relaxed mode promises.
+// The backing slice is reused across epochs, so steady-state deferral
+// allocates nothing.
+type TxBuffer struct {
+	txs []DeferredTx
+}
+
+// Defer appends one transaction issued at the given core cycle.
+func (b *TxBuffer) Defer(cycle uint64, line uint32, write bool) {
+	b.txs = append(b.txs, DeferredTx{Cycle: cycle, Line: line, Write: write})
+}
+
+// Len returns the number of buffered transactions.
+func (b *TxBuffer) Len() int { return len(b.txs) }
+
+// CommitDeferred applies a buffer's transactions to the shared L2/DRAM
+// system in buffer order, each at its recorded issue cycle, and empties the
+// buffer. onTx (when non-nil) receives each transaction's depth outcome for
+// statistics and energy accounting. It must only run serially — the relaxed
+// chip loop calls it for each SM in ascending SM-id order at the epoch
+// rendezvous. Completion times are deliberately not returned: the issuing
+// SMs already ran ahead on EstimateAccess values, and the commit's job is
+// solely to evolve shared state (L2 contents, channel backlog)
+// deterministically for the next epoch's estimates.
+func (s *System) CommitDeferred(b *TxBuffer, onTx func(AccessKind)) {
+	for i := range b.txs {
+		tx := &b.txs[i]
+		_, kind := s.AccessL2(tx.Cycle, tx.Line, tx.Write)
+		if onTx != nil {
+			onTx(kind)
+		}
+	}
+	b.txs = b.txs[:0]
+}

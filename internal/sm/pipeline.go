@@ -296,20 +296,33 @@ func (s *SM) dispatchMem(ce *collectorEntry, occ, extra uint64) (done uint64, ms
 				}
 			} else {
 				s.st.L1Misses++
-				if s.phased {
+				switch {
+				case s.relaxed:
+					// Epoch mode: the shared system is frozen until the
+					// rendezvous, so take an estimated completion time now
+					// and defer the real transaction. Stats/energy for the
+					// beyond-L1 part are accounted at commit (commitTx).
+					txDone = s.msys.EstimateAccess(s.now, line)
+					s.epochTx.Defer(s.now, line, false)
+					s.fillPut(line, txDone)
+				case s.phased:
 					s.txBuf = append(s.txBuf, pendingTx{line: line})
 					continue
+				default:
+					txDone = s.memBeyondL1(line, false)
+					s.fillPut(line, txDone)
 				}
-				txDone = s.memBeyondL1(line, false)
-				s.fillPut(line, txDone)
 			}
 		} else {
 			// Write-through, write-evict: the store drains towards DRAM in
 			// the background; the warp does not wait on it.
 			s.l1.Invalidate(line)
-			if s.phased {
+			switch {
+			case s.relaxed:
+				s.epochTx.Defer(s.now, line, true)
+			case s.phased:
 				s.txBuf = append(s.txBuf, pendingTx{line: line, write: true})
-			} else {
+			default:
 				s.memBeyondL1(line, true)
 			}
 			txDone = s.now + occ + 1

@@ -154,6 +154,17 @@ type SM struct {
 	// nothing in steady state.
 	txBuf []pendingTx
 
+	// Relaxed (epoch) mode: dispatchMem estimates beyond-L1 completion times
+	// against the frozen shared memory system (mem.System.EstimateAccess) and
+	// defers the actual transactions into epochTx; CommitEpoch applies them —
+	// and flushes the store buffer — at the epoch rendezvous, serially in
+	// ascending SM-id order across the chip. commitTx is the per-transaction
+	// stats/energy callback bound once at EnableRelaxed so commits do not
+	// allocate a closure per epoch.
+	relaxed  bool
+	epochTx  mem.TxBuffer
+	commitTx func(mem.AccessKind)
+
 	outstanding   int
 	regBytesInUse int
 	deadOnWrite   []bool // §3.3 compiler-assisted elision table
@@ -244,6 +255,73 @@ func New(id int, cfg Config, arch Arch, en power.Energies, prog *kernel.Program,
 func (s *SM) EnablePhased() {
 	s.phased = true
 	s.storeBuf = &kernel.StoreBuffer{}
+}
+
+// EnableRelaxed switches the SM into relaxed epoch mode for epoch-parallel
+// simulation: Cycle runs against a frozen shared memory system (estimated
+// beyond-L1 latencies, deferred transactions, buffered global stores with a
+// read-through overlay for same-SM visibility), and the caller must invoke
+// CommitEpoch at each epoch rendezvous (serially, in ascending SM-id order
+// across the chip). Must be called before the first LaunchCTA.
+func (s *SM) EnableRelaxed() {
+	s.relaxed = true
+	s.storeBuf = &kernel.StoreBuffer{}
+	s.storeBuf.EnableOverlay()
+	s.commitTx = func(kind mem.AccessKind) {
+		s.st.L2Accesses++
+		s.meter.AddN(power.CompNoC, mem.LineSize, s.en.NoCPerByte)
+		s.meter.Add(power.CompL2, s.en.L2Access)
+		if kind == mem.AccessDRAM {
+			s.st.L2Misses++
+			s.st.DRAMTransactions++
+			s.meter.AddN(power.CompDRAM, mem.LineSize, s.en.DRAMPerByte)
+		}
+	}
+}
+
+// RunEpoch advances the SM from cycle start up to (but not including) end,
+// skipping idle stretches locally via the NextEventCycle contract, and
+// returns the SM's stop cycle: one past the last cycle it actually stepped
+// (start if it stepped none). The chip loop takes the max stop cycle of the
+// final epoch as the run's cycle count, so epoch rounding never inflates it.
+// A deadlocked SM (NextEventCycle refuses to skip with no events pending)
+// steps its cheap no-op cycles one by one, so the chip-level MaxCycles bound
+// trips exactly as it would cycle by cycle.
+func (s *SM) RunEpoch(start, end uint64) uint64 {
+	stop := start
+	for c := start; c < end; {
+		if s.err != nil {
+			return stop
+		}
+		if next, ok := s.NextEventCycle(); ok {
+			if next >= end { // covers NoEvent
+				return stop
+			}
+			if next > c {
+				c = next
+			}
+		}
+		s.Cycle(c)
+		c++
+		stop = c
+	}
+	return stop
+}
+
+// CommitEpoch is the serial phase of the relaxed mode: it applies the
+// epoch's deferred L2/DRAM transactions to the shared memory system (in
+// issue order, accounting stats and energy per transaction) and flushes
+// buffered global stores into device memory. Unlike the phased mode's
+// CommitShared, completion times are not fed back into writeback events —
+// the SM already ran ahead on estimates; the commit's job is to evolve the
+// shared state deterministically for the next epoch.
+func (s *SM) CommitEpoch() {
+	if s.epochTx.Len() > 0 {
+		s.msys.CommitDeferred(&s.epochTx, s.commitTx)
+	}
+	if s.storeBuf.Len() > 0 {
+		s.storeBuf.Flush(s.gmem)
+	}
 }
 
 // Stats returns the SM's statistics accumulator.

@@ -72,6 +72,8 @@ type Meta struct {
 	NumSMs           int      // SM count (length of Sample.PerSM)
 	EnergyComponents []string // names indexing Sample.EnergyPJ
 	RFAccessClasses  []string // names indexing Sample.RFReads
+	ExecMode         string   // chip loop that ran: serial, phased, or relaxed
+	Workers          int      // resolved compute-worker count of that loop
 }
 
 // SMSample is one SM's slice of a time-series sample.

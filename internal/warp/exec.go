@@ -400,11 +400,29 @@ func (w *Warp) execLoad(ctx *Context, in *isa.Instruction, active Mask, out *Out
 	base := w.resolve(ctx, in.Srcs[0])
 	off := uint32(in.Off)
 	if in.Op == isa.OpLdGlobal {
-		for m := active; m != 0; m &= m - 1 {
-			lane := bits.TrailingZeros64(m)
-			addr := base.at(lane) + off
-			out.Addrs[lane] = addr
-			vec[lane] = ctx.Global.Load32(addr)
+		if ctx.StoreBuf.ReadThrough() {
+			// Relaxed epoch mode: stores stay buffered for up to an epoch, so
+			// a load must see this SM's own pending stores (same-SM RAW
+			// through global memory). ReadThrough is false whenever the
+			// overlay is disabled or empty, keeping the serial/phased hot
+			// path below branch-free through the buffer.
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(m)
+				addr := base.at(lane) + off
+				out.Addrs[lane] = addr
+				if v, ok := ctx.StoreBuf.Load32(addr); ok {
+					vec[lane] = v
+				} else {
+					vec[lane] = ctx.Global.Load32(addr)
+				}
+			}
+		} else {
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(m)
+				addr := base.at(lane) + off
+				out.Addrs[lane] = addr
+				vec[lane] = ctx.Global.Load32(addr)
+			}
 		}
 	} else {
 		for m := active; m != 0; m &= m - 1 {

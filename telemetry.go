@@ -68,6 +68,8 @@ type Metrics struct {
 	ConfigHash string         `json:"config_hash"`
 	ClockHz    float64        `json:"clock_hz"`
 	NumSMs     int            `json:"num_sms"`
+	ExecMode   string         `json:"exec_mode,omitempty"` // chip loop that ran: serial, phased, relaxed
+	Workers    int            `json:"workers,omitempty"`   // resolved compute-worker count of that loop
 	Counters   []CounterValue `json:"counters"`
 	Series     Series         `json:"series"`
 }
@@ -81,6 +83,8 @@ func newMetrics(rec *telemetry.Recorder, s *Session, workload string) *Metrics {
 		ConfigHash: s.cfg.Hash(),
 		ClockHz:    meta.ClockHz,
 		NumSMs:     meta.NumSMs,
+		ExecMode:   meta.ExecMode,
+		Workers:    meta.Workers,
 		Series: Series{
 			SampleStride:     meta.SampleStride,
 			EnergyComponents: meta.EnergyComponents,
