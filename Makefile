@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race skipdet valcancel relaxdet telemetry perfsmoke fmt fmtcheck bench bench-parallel profile
+.PHONY: check build test vet race skipdet valcancel relaxdet telemetry perfsmoke serve fmt fmtcheck bench bench-parallel bench-serve profile
 
-check: fmtcheck build test vet skipdet valcancel relaxdet telemetry perfsmoke race
+check: fmtcheck build test vet skipdet valcancel relaxdet telemetry perfsmoke serve race
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,20 @@ telemetry:
 	$(GO) vet ./internal/telemetry
 	$(GO) test ./internal/telemetry
 	$(GO) test -run 'Telemetry|Metrics|ResultJSON' .
+
+# Serving gate: the result store (atomic writes, index rebuild, singleflight)
+# and the sweep-server HTTP handlers (submit/dedup/cancel/drain-resume),
+# under the race detector — the store is shared by the server's worker pool
+# and the experiment prewarm fan-out, so these paths must be detector-clean.
+serve:
+	$(GO) vet ./internal/store ./internal/serve ./cmd/gscalar-serve
+	$(GO) test ./internal/store ./internal/serve
+	$(GO) test -race -short ./internal/store ./internal/serve
+
+# Regenerates BENCH_serve.json: gscalar-serve sweep throughput over the HTTP
+# API, cold (every point simulates) vs warm (every point a store hit).
+bench-serve:
+	$(GO) test -bench ServeThroughput -benchtime 1x -run '^$$' .
 
 # Regenerates the simulator-performance snapshots: BENCH_core.json
 # (event-driven core loop: serial-noskip baseline vs skip vs skip+workers)

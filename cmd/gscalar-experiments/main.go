@@ -36,6 +36,7 @@ import (
 	"gscalar"
 	"gscalar/internal/experiments"
 	"gscalar/internal/hostprof"
+	"gscalar/internal/store"
 )
 
 func main() {
@@ -144,13 +145,21 @@ func main() {
 	suite := experiments.NewSuiteContext(ctx, opts)
 	name := strings.ToLower(*exp)
 
+	// Points doubles as the -exp validator: a typo'd name fails here with
+	// the list of valid experiments, in the serial path too — it must never
+	// silently prewarm (and render) nothing.
+	points, err := suite.Points([]string{name})
+	if err != nil {
+		fail(err)
+	}
+
 	// With -parallel N the suite's simulation points run concurrently up
 	// front, filling the memoization cache; the figures below then render
 	// serially from the cache, so the printed output is byte-identical to a
 	// serial run. The fan-out is fail-fast: the first failure (or SIGINT)
 	// cancels the sibling simulations.
 	if *parallel > 1 {
-		if err := suite.PrewarmContext(ctx, suite.Points([]string{name}), *parallel); err != nil {
+		if err := suite.PrewarmContext(ctx, points, *parallel); err != nil {
 			fail(err)
 		}
 	}
@@ -213,20 +222,11 @@ func (s *metricsSink) err() error {
 	return s.firstErr
 }
 
-// writeVia creates path and streams emit into it.
+// writeVia streams emit into path atomically (temp file + rename, via
+// store.AtomicWrite): a per-point telemetry export that fails mid-render
+// leaves no truncated file behind.
 func writeVia(path string, emit func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = emit(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	return nil
+	return store.AtomicWrite(path, emit)
 }
 
 // writeCSV writes one CSV artifact if -csv was given.

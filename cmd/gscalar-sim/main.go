@@ -38,6 +38,7 @@ import (
 
 	"gscalar"
 	"gscalar/internal/hostprof"
+	"gscalar/internal/store"
 )
 
 func main() {
@@ -182,7 +183,10 @@ func main() {
 
 // writeTelemetry writes the collected metrics and trace artifacts for the
 // flags that were given. A single-run set exports as one JSON object; a
-// multi-run set (from -all) as {"runs": [...]}.
+// multi-run set (from -all) as {"runs": [...]}. Files land atomically
+// (store.AtomicWrite: temp file + rename), so an export that fails
+// mid-render leaves no truncated artifact behind — and never clobbers a
+// previous good one.
 func writeTelemetry(set gscalar.MetricsSet, metricsOut, format, traceOut string) error {
 	if len(set) == 0 {
 		return nil
@@ -191,18 +195,7 @@ func writeTelemetry(set gscalar.MetricsSet, metricsOut, format, traceOut string)
 		if path == "" {
 			return nil
 		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		err = emit(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		return nil
+		return store.AtomicWrite(path, emit)
 	}
 	if err := write(metricsOut, func(w io.Writer) error {
 		if format == "csv" {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"sync"
 
 	"gscalar"
+	"gscalar/internal/store"
 )
 
 // Cache memoizes simulation results keyed by (chip config, scale,
@@ -14,10 +16,19 @@ import (
 // cache lets every consumer reuse a point that has been simulated once.
 // Any change to the chip configuration (or scale) alters the key, so stale
 // results can never be served. Safe for concurrent use.
+//
+// Concurrent misses of the same key are deduplicated in flight (Do): under
+// the Prewarm fan-out — or the sweep server's worker pool — the first
+// requester of a key runs the simulation and everyone else joins its
+// result, so each distinct key simulates exactly once no matter how the
+// requests interleave. A joined waiter counts as a hit: the cache did spare
+// it a simulation, even though the entry was not filled yet when it asked.
 type Cache struct {
 	mu           sync.Mutex
 	m            map[string]any
 	hits, misses uint64
+
+	flight store.Group
 }
 
 // NewCache returns an empty cache.
@@ -37,6 +48,12 @@ var sharedCache = NewCache()
 // shares those entries, while the two loop algorithms — which may differ in
 // the last bits of energy sums — stay separate.
 func configKey(cfg gscalar.Config, scale int) string {
+	return canonicalHash(cfg) + "|scale=" + strconv.Itoa(scale)
+}
+
+// canonicalHash is the configuration component of a point key: the content
+// hash of the normalized config with the phased worker count collapsed.
+func canonicalHash(cfg gscalar.Config) string {
 	// Hash the normalized form: the run path normalizes before simulating,
 	// so a sparse config and its explicit equivalent are the same input and
 	// must share one entry.
@@ -44,7 +61,16 @@ func configKey(cfg gscalar.Config, scale int) string {
 	if cfg.Workers != 0 {
 		cfg.Workers = 1
 	}
-	return cfg.Hash() + "|scale=" + strconv.Itoa(scale)
+	return cfg.Hash()
+}
+
+// PointKey is the canonical content identity of one simulation point —
+// "configHash|scale=N|arch/workload" — shared by this in-process cache and
+// the disk-backed result store behind gscalar-serve (internal/store). Two
+// points share a key iff they denote the same simulation input, so a key
+// can never be served a stale or foreign result.
+func PointKey(cfg gscalar.Config, scale int, arch gscalar.Arch, abbr string) string {
+	return store.Key(canonicalHash(cfg), scale, arch.String(), abbr)
 }
 
 // get returns the cached value for key, counting the hit or miss.
@@ -65,6 +91,53 @@ func (c *Cache) put(key string, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[key] = v
+}
+
+// Do returns the cached value for key, computing it via fn on a miss. At
+// most one fn per key is in flight at a time: concurrent callers of a
+// missing key join the first caller's computation instead of repeating it,
+// and its successful value is cached for everyone. Accounting: a fn
+// execution is a miss; a map hit or a successful join is a hit (the waiter
+// was spared the work). fn's error is returned to the leader and every
+// joined waiter, and nothing is cached — a later call retries. A waiter
+// whose ctx expires stops waiting with ctx's error; the in-flight fn is
+// unaffected (it observes its own context, e.g. at lifecycle checkpoints).
+func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if v, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	v, shared, err := c.flight.Do(ctx, key, func() (any, error) {
+		// Re-check under the flight's exclusivity: this caller may have lost
+		// a race with a leader that has already completed and filled the map
+		// (flights are forgotten once done, the map is forever).
+		c.mu.Lock()
+		if v, ok := c.m[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return v, nil
+		}
+		c.misses++
+		c.mu.Unlock()
+		v, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		c.put(key, v)
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+	}
+	return v, nil
 }
 
 // Counters returns the accumulated hit/miss counts.

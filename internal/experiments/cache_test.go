@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"gscalar"
@@ -111,6 +114,102 @@ func TestCacheConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestCacheDoSingleflight asserts the in-flight dedup contract at the unit
+// level: concurrent Do calls of one key run fn exactly once, the joined
+// waiters count as hits (not second misses), and distinct keys stay
+// independent.
+func TestCacheDoSingleflight(t *testing.T) {
+	c := NewCache()
+	keys := []string{"k0", "k1"}
+	runs := map[string]*atomic.Int32{}
+	gate := make(chan struct{})
+	for _, k := range keys {
+		runs[k] = &atomic.Int32{}
+	}
+	const callersPerKey = 8
+	var wg sync.WaitGroup
+	for _, key := range keys {
+		for i := 0; i < callersPerKey; i++ {
+			wg.Add(1)
+			go func(key string) {
+				defer wg.Done()
+				<-gate
+				v, err := c.Do(context.Background(), key, func() (any, error) {
+					runs[key].Add(1)
+					return "v:" + key, nil
+				})
+				if err != nil || v != "v:"+key {
+					t.Errorf("Do(%s) = %v, %v", key, v, err)
+				}
+			}(key)
+		}
+	}
+	close(gate)
+	wg.Wait()
+	for _, k := range keys {
+		if n := runs[k].Load(); n != 1 {
+			t.Errorf("key %s: fn ran %d times, want exactly 1", k, n)
+		}
+	}
+	hits, misses := c.Counters()
+	if misses != uint64(len(keys)) {
+		t.Errorf("misses = %d, want %d (one per distinct key)", misses, len(keys))
+	}
+	if hits != uint64(len(keys)*(callersPerKey-1)) {
+		t.Errorf("hits = %d, want %d (every joined or late caller)", hits, len(keys)*(callersPerKey-1))
+	}
+	if c.Len() != len(keys) {
+		t.Errorf("Len = %d, want %d", c.Len(), len(keys))
+	}
+}
+
+// TestCacheDoErrorNotCached: a failed computation must poison nothing — the
+// error propagates and a retry runs fresh.
+func TestCacheDoErrorNotCached(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("boom")
+	if _, err := c.Do(context.Background(), "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	v, err := c.Do(context.Background(), "k", func() (any, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+}
+
+// TestPrewarmDedupsConcurrentIdenticalPoints is the satellite bugfix's
+// regression test: under Prewarm(..., par>1), workers that miss the same key
+// concurrently used to each run the full simulation; with the singleflight
+// fold-in, each distinct key simulates exactly once — the misses counter
+// counts real simulations — and every duplicate counts as a hit.
+func TestPrewarmDedupsConcurrentIdenticalPoints(t *testing.T) {
+	cfg := gscalar.DefaultConfig()
+	cfg.NumSMs = 2
+	s := NewSuite(Options{Config: cfg, Workloads: []string{"HW"}})
+	s.r.cache = NewCache()
+
+	// Four copies of the same point dispatched to four workers: all four
+	// miss the (empty) cache near-simultaneously.
+	p := Point{Arch: gscalar.GScalar, Abbr: "HW"}
+	points := []Point{p, p, p, p}
+	if err := s.Prewarm(points, len(points)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := s.r.cache.Counters()
+	if misses != 1 {
+		t.Errorf("misses (= simulations) = %d, want exactly 1 for one distinct key", misses)
+	}
+	if hits != uint64(len(points)-1) {
+		t.Errorf("hits = %d, want %d (joined waiters count as hits)", hits, len(points)-1)
+	}
+	if s.r.cache.Len() != 1 {
+		t.Errorf("cache Len = %d, want 1", s.r.cache.Len())
+	}
+}
+
 // TestPrewarmMatchesSerial runs the same suite serially and with a
 // parallel prewarm and requires identical figure rows — the ordering
 // guarantee behind the -parallel flag.
@@ -131,7 +230,10 @@ func TestPrewarmMatchesSerial(t *testing.T) {
 
 	par := NewSuite(opts)
 	par.r.cache = NewCache()
-	points := par.Points([]string{"fig11"})
+	points, err := par.Points([]string{"fig11"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 4*3 {
 		t.Fatalf("fig11 points = %d, want 12", len(points))
 	}
@@ -173,15 +275,61 @@ func TestPointsDeduplicates(t *testing.T) {
 	s := NewSuite(Options{Workloads: []string{"HS", "MQ"}})
 	// fig1 and fig9 both need only the G-Scalar runs; the union must not
 	// repeat them.
-	pts := s.Points([]string{"fig1", "fig9"})
+	pts, err := s.Points([]string{"fig1", "fig9"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 {
 		t.Fatalf("points = %v, want one per workload", pts)
 	}
+	all, err := s.Points([]string{"all"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[Point]bool{}
-	for _, p := range s.Points([]string{"all"}) {
+	for _, p := range all {
 		if seen[p] {
 			t.Fatalf("duplicate point %+v", p)
 		}
 		seen[p] = true
+	}
+}
+
+// TestPointsRejectsUnknownExperiment is the satellite bugfix's regression
+// test: a typo'd experiment name ("figg11") used to index expArchs to nil
+// and silently prewarm nothing; it must instead fail with an error that
+// lists the valid names.
+func TestPointsRejectsUnknownExperiment(t *testing.T) {
+	s := NewSuite(Options{Workloads: []string{"HS"}})
+	pts, err := s.Points([]string{"figg11"})
+	if err == nil {
+		t.Fatalf("Points(figg11) = %v, want error", pts)
+	}
+	for _, want := range []string{"figg11", "fig11", "table1", "width", "sched"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// Experiments without prewarmable points (static tables, custom-config
+	// sweeps) are still valid names — they just contribute no points.
+	for _, name := range []string{"table1", "fig10", "width", "sched", "all"} {
+		if !ValidExperiment(name) {
+			t.Errorf("ValidExperiment(%q) = false", name)
+		}
+		if _, err := s.Points([]string{name}); err != nil {
+			t.Errorf("Points(%q): %v", name, err)
+		}
+	}
+	if ValidExperiment("figg11") {
+		t.Error("ValidExperiment(figg11) = true")
+	}
+	// Every name in the registry that expArchs covers must stay consistent.
+	for name := range expArchs {
+		if !ValidExperiment(name) {
+			t.Errorf("expArchs name %q missing from the experiment registry", name)
+		}
+	}
+	if len(ExperimentNames()) < len(expArchs) {
+		t.Error("registry smaller than expArchs")
 	}
 }

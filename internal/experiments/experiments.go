@@ -70,30 +70,36 @@ func (r *runner) run(arch gscalar.Arch, abbr string) (gscalar.Result, error) {
 }
 
 func (r *runner) runCtx(ctx context.Context, arch gscalar.Arch, abbr string) (gscalar.Result, error) {
-	key := fmt.Sprintf("%s|%s/%s", configKey(r.o.Config, r.o.Scale), arch, abbr)
-	if v, ok := r.cache.get(key); ok {
-		return v.(gscalar.Result), nil
-	}
-	// One Session per fresh point: the prewarm fan-out runs points
-	// concurrently, and a session's telemetry is per-run state. The session
-	// layer annotates escaping errors with the workload and architecture; a
-	// cancelled run's partial result is never cached.
-	s, err := gscalar.NewSession(r.o.Config, arch)
+	key := PointKey(r.o.Config, r.o.Scale, arch, abbr)
+	// Cache.Do memoizes and deduplicates: if another goroutine — a Prewarm
+	// sibling, or another Suite over the same options — is already
+	// simulating this key, this call joins that run instead of repeating
+	// it, so each distinct point simulates at most once per process.
+	v, err := r.cache.Do(ctx, key, func() (any, error) {
+		// One Session per fresh point: the prewarm fan-out runs points
+		// concurrently, and a session's telemetry is per-run state. The
+		// session layer annotates escaping errors with the workload and
+		// architecture; a cancelled run's partial result is never cached.
+		s, err := gscalar.NewSession(r.o.Config, arch)
+		if err != nil {
+			return nil, err
+		}
+		s.Telemetry = r.o.Telemetry
+		res, err := s.RunWorkload(ctx, abbr, r.o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		if r.o.OnMetrics != nil {
+			if m := s.Metrics(); m != nil {
+				r.o.OnMetrics(arch, abbr, m)
+			}
+		}
+		return res, nil
+	})
 	if err != nil {
 		return gscalar.Result{}, err
 	}
-	s.Telemetry = r.o.Telemetry
-	res, err := s.RunWorkload(ctx, abbr, r.o.Scale)
-	if err != nil {
-		return res, err
-	}
-	if r.o.OnMetrics != nil {
-		if m := s.Metrics(); m != nil {
-			r.o.OnMetrics(arch, abbr, m)
-		}
-	}
-	r.cache.put(key, res)
-	return res, nil
+	return v.(gscalar.Result), nil
 }
 
 // Suite bundles a cached runner over one option set; create it once and

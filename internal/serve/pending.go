@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"gscalar"
+	"gscalar/internal/store"
+)
+
+// pendingFileName is written inside the store directory on drain and read
+// back on startup. It holds every point that had not reached a terminal
+// state, in original FIFO order.
+const pendingFileName = "pending.json"
+
+type pendingPoint struct {
+	Config   json.RawMessage `json:"config"`
+	Arch     string          `json:"arch"`
+	Workload string          `json:"workload"`
+	Scale    int             `json:"scale"`
+}
+
+type pendingFile struct {
+	Points []pendingPoint `json:"points"`
+}
+
+func (s *Server) pendingPath() string {
+	return filepath.Join(s.st.Dir(), pendingFileName)
+}
+
+// persistPending writes every queued/unfinished point to pending.json (or
+// removes the file when nothing is pending, so a clean drain leaves no
+// residue). Called by Drain after the worker pool has exited, so point
+// states are final.
+func (s *Server) persistPending() (int, error) {
+	s.mu.Lock()
+	var pf pendingFile
+	for _, id := range s.order {
+		for _, p := range s.jobs[id].points {
+			if p.status != pointQueued {
+				continue
+			}
+			cfg, err := json.Marshal(p.spec.Config)
+			if err != nil {
+				s.mu.Unlock()
+				return 0, fmt.Errorf("serve: encode pending config: %w", err)
+			}
+			pf.Points = append(pf.Points, pendingPoint{
+				Config:   cfg,
+				Arch:     p.spec.Arch.String(),
+				Workload: p.spec.Workload,
+				Scale:    p.spec.Scale,
+			})
+		}
+	}
+	s.mu.Unlock()
+	if len(pf.Points) == 0 {
+		if err := os.Remove(s.pendingPath()); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return 0, err
+		}
+		return 0, nil
+	}
+	err := store.AtomicWrite(s.pendingPath(), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(pf)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(pf.Points), nil
+}
+
+// loadPending re-enqueues the points a drained predecessor left behind, as
+// one recovered job. Points that completed before the drain resolve as
+// store hits, so nothing simulates twice across server lifetimes. The file
+// is left in place until the next Drain rewrites or removes it; re-loading
+// it after a hard kill is harmless for the same reason.
+func (s *Server) loadPending() error {
+	data, err := os.ReadFile(s.pendingPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var pf pendingFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return fmt.Errorf("serve: corrupt %s: %w", pendingFileName, err)
+	}
+	if len(pf.Points) == 0 {
+		return nil
+	}
+	specs := make([]PointSpec, 0, len(pf.Points))
+	for i, pp := range pf.Points {
+		spec, err := specFromParts(pp.Config, pp.Arch, pp.Workload, pp.Scale)
+		if err != nil {
+			return fmt.Errorf("serve: %s point %d: %w", pendingFileName, i, err)
+		}
+		specs = append(specs, spec)
+	}
+	_, err = s.submit(specs, true)
+	return err
+}
+
+// specFromParts validates and assembles one point from its wire form.
+func specFromParts(cfgJSON json.RawMessage, archName, workload string, scale int) (PointSpec, error) {
+	var spec PointSpec
+	if len(cfgJSON) == 0 || string(cfgJSON) == "null" {
+		spec.Config = gscalar.DefaultConfig()
+	} else {
+		cfg, err := gscalar.ConfigFromJSON(cfgJSON)
+		if err != nil {
+			return PointSpec{}, err
+		}
+		spec.Config = cfg
+	}
+	arch, ok := gscalar.ArchByName(archName)
+	if !ok {
+		return PointSpec{}, fmt.Errorf("unknown arch %q (valid: %v)", archName, gscalar.ArchNames())
+	}
+	spec.Arch = arch
+	if _, ok := gscalar.WorkloadByAbbr(workload); !ok {
+		return PointSpec{}, fmt.Errorf("unknown workload %q (valid: %v)", workload, gscalar.Workloads())
+	}
+	spec.Workload = workload
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 1 {
+		return PointSpec{}, fmt.Errorf("scale %d: must be >= 1", scale)
+	}
+	spec.Scale = scale
+	return spec, nil
+}

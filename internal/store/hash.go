@@ -1,0 +1,13 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// hashHex is the hex-encoded SHA-256 of s — the content address a key's
+// entry file is named by.
+func hashHex(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}

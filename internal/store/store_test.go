@@ -1,0 +1,356 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAtomicWriteSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWrite(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestAtomicWriteFailureLeavesTargetIntact is the satellite bugfix's
+// contract: an export that fails mid-write must neither truncate an existing
+// file nor leave a partial new one behind.
+func TestAtomicWriteFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("render failed")
+	err := AtomicWrite(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not name the path", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "previous" {
+		t.Fatalf("target after failed write = %q, %v; want previous contents", data, err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestAtomicWriteNewFileFailureLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.json")
+	err := AtomicWrite(path, func(w io.Writer) error { return errors.New("no") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed write created %s", path)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), tmpPrefix) {
+			t.Errorf("leftover temp file %s", de.Name())
+		}
+	}
+}
+
+func TestKeyShape(t *testing.T) {
+	k := Key("abc123", 2, "gscalar", "BP")
+	if k != "abc123|scale=2|gscalar/BP" {
+		t.Fatalf("key = %q", k)
+	}
+}
+
+func testEntry(key string) Entry {
+	return Entry{
+		Key:        key,
+		ConfigHash: strings.SplitN(key, "|", 2)[0],
+		Arch:       "gscalar",
+		Workload:   "BP",
+		Scale:      1,
+		Result:     json.RawMessage(`{"cycles":42,"ipc":1.5}`),
+		Metrics:    json.RawMessage(`{"arch":"gscalar"}`),
+	}
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("h1", 1, "gscalar", "BP")
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
+	}
+	want := testEntry(key)
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if !ok || err != nil {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if got.Key != want.Key || !bytes.Equal(got.Result, want.Result) || !bytes.Equal(got.Metrics, want.Metrics) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if s.Len() != 1 || !s.Contains(key) {
+		t.Errorf("Len=%d Contains=%v", s.Len(), s.Contains(key))
+	}
+}
+
+// TestStoreReopenRebuildsIndex is the crash-recovery property the sweep
+// server relies on: a fresh process over the same directory serves every
+// completed entry without recomputing anything.
+func TestStoreReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		Key("h1", 1, "gscalar", "BP"),
+		Key("h1", 1, "baseline", "BP"),
+		Key("h2", 3, "gscalar", "LBM"),
+	}
+	for _, k := range keys {
+		if err := s.Put(testEntry(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Simulate the crash debris a killed writer can leave: a temp file (the
+	// only artifact an interrupted AtomicWrite produces) and a corrupt
+	// foreign JSON file.
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"dead-123"), []byte(`{"key":"zombie"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != len(keys) {
+		t.Fatalf("reopened Len = %d, want %d (keys: %v)", re.Len(), len(keys), re.Keys())
+	}
+	for _, k := range keys {
+		e, ok, err := re.Get(k)
+		if !ok || err != nil {
+			t.Fatalf("reopened Get(%s): ok=%v err=%v", k, ok, err)
+		}
+		if !bytes.Equal(e.Result, testEntry(k).Result) {
+			t.Errorf("reopened entry %s differs", k)
+		}
+	}
+	if re.Contains("zombie") {
+		t.Error("temp-file debris was indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpPrefix+"dead-123")); !os.IsNotExist(err) {
+		t.Error("leftover temp file was not swept on Open")
+	}
+}
+
+func TestStorePutOverwritesInPlace(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("h1", 1, "gscalar", "BP")
+	e := testEntry(key)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	e.Result = json.RawMessage(`{"cycles":43}`)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", s.Len())
+	}
+	got, _, _ := s.Get(key)
+	if string(got.Result) != `{"cycles":43}` {
+		t.Fatalf("overwrite not visible: %s", got.Result)
+	}
+}
+
+func TestStoreRejectsKeylessEntry(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Entry{}); err == nil {
+		t.Fatal("Put of keyless entry succeeded")
+	}
+}
+
+func TestGroupDeduplicatesConcurrentCalls(t *testing.T) {
+	var g Group
+	var runs atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	sharedCount := atomic.Int32{}
+	do := func(i int) {
+		defer wg.Done()
+		v, shared, err := g.Do(context.Background(), "k", func() (any, error) {
+			runs.Add(1)
+			close(started)
+			<-release
+			return "value", nil
+		})
+		if err != nil {
+			t.Errorf("Do: %v", err)
+		}
+		if shared {
+			sharedCount.Add(1)
+		}
+		results[i] = v
+	}
+	// The leader goes first and blocks inside fn; the joiners are spawned
+	// only once it is registered, and the leader is released only once every
+	// joiner is counted in the flight — so exactly one fn run is guaranteed,
+	// not just likely.
+	wg.Add(1)
+	go do(0)
+	<-started
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go do(i)
+	}
+	for g.Waiters("k") != callers-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Errorf("caller %d got %v", i, v)
+		}
+	}
+	if sharedCount.Load() != callers-1 {
+		t.Errorf("shared callers = %d, want %d", sharedCount.Load(), callers-1)
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("InFlight after completion = %d", g.InFlight())
+	}
+}
+
+func TestGroupWaiterObservesContext(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go g.Do(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := g.Do(ctx, "k", func() (any, error) {
+		t.Error("waiter ran fn")
+		return nil, nil
+	})
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: shared=%v err=%v", shared, err)
+	}
+	close(release)
+}
+
+func TestGroupLeaderErrorPropagates(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	_, shared, err := g.Do(context.Background(), "k", func() (any, error) { return nil, boom })
+	if shared || !errors.Is(err, boom) {
+		t.Fatalf("leader: shared=%v err=%v", shared, err)
+	}
+	// The failed key is forgotten: a retry runs fresh.
+	v, _, err := g.Do(context.Background(), "k", func() (any, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after failure: %v, %v", v, err)
+	}
+}
+
+func TestStoreConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := Key("h", (g+i)%4, "gscalar", "BP")
+				if _, ok, err := s.Get(key); err != nil {
+					t.Errorf("Get: %v", err)
+				} else if !ok {
+					if err := s.Put(testEntry(key)); err != nil {
+						t.Errorf("Put: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+}
+
+func TestFileNameIsContentAddressed(t *testing.T) {
+	a, b := fileName("k1"), fileName("k2")
+	if a == b {
+		t.Fatal("distinct keys share a file name")
+	}
+	if fileName("k1") != a {
+		t.Fatal("file name not deterministic")
+	}
+	if !strings.HasSuffix(a, entryExt) {
+		t.Fatalf("file name %q lacks %s", a, entryExt)
+	}
+	if fmt.Sprintf("%s", a) == "k1"+entryExt {
+		t.Fatal("file name must be the key's hash, not the raw key (keys contain '/')")
+	}
+}

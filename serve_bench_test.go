@@ -1,0 +1,167 @@
+package gscalar_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gscalar"
+	"gscalar/internal/serve"
+	"gscalar/internal/store"
+)
+
+// serveSnapshot is one row of BENCH_serve.json: one sweep submission driven
+// end-to-end through the HTTP API. The cold row pays one fresh simulation
+// per point; the warm row resubmits the identical sweep and must report
+// zero additional simulations — every point resolves from the
+// content-addressed store — which is the load-test's correctness check as
+// much as its throughput number.
+type serveSnapshot struct {
+	Phase        string  `json:"phase"` // cold, warm
+	Points       int     `json:"points"`
+	Seconds      float64 `json:"seconds"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	Simulations  uint64  `json:"simulations"` // fresh sims this phase
+	StoreHits    uint64  `json:"store_hits"`  // points served from disk this phase
+	Speedup      float64 `json:"speedup_vs_cold,omitempty"`
+}
+
+// serveBench is the BENCH_serve.json document.
+type serveBench struct {
+	Note       string          `json:"note"`
+	ConfigHash string          `json:"config_hash"`
+	HostCores  int             `json:"host_cores"`
+	Workers    int             `json:"workers"`
+	Archs      []string        `json:"archs"`
+	Workloads  []string        `json:"workloads"`
+	Rows       []serveSnapshot `json:"rows"`
+}
+
+// BenchmarkServeThroughput load-tests gscalar-serve's full path — HTTP
+// submit, worker pool, singleflight, content-addressed store — with one
+// cold sweep (every point simulates) and one warm repeat of the identical
+// sweep (every point must be a store hit), and writes both rows to
+// BENCH_serve.json:
+//
+//	go test -bench ServeThroughput -benchtime 1x -run '^$'
+func BenchmarkServeThroughput(b *testing.B) {
+	cfg := gscalar.DefaultConfig()
+	archs := []string{"baseline", "gscalar"}
+	wls := []string{"HW", "HS", "PF", "BP"}
+
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(serve.Options{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"config": json.RawMessage(cfgJSON), "archs": archs, "workloads": wls,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	sweep := func(phase string) serveSnapshot {
+		before := srv.Stats()
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sub struct {
+			ID     string `json:"id"`
+			Points int    `json:"points"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("%s sweep: submit status %d", phase, resp.StatusCode)
+		}
+		deadline := time.Now().Add(5 * time.Minute)
+		for {
+			var v struct {
+				State string `json:"state"`
+			}
+			resp, err := http.Get(ts.URL + "/api/v1/jobs/" + sub.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if v.State == "done" {
+				break
+			}
+			if v.State == "failed" || v.State == "cancelled" || time.Now().After(deadline) {
+				b.Fatalf("%s sweep: job %s state %q", phase, sub.ID, v.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		secs := time.Since(t0).Seconds()
+		after := srv.Stats()
+		return serveSnapshot{
+			Phase:        phase,
+			Points:       sub.Points,
+			Seconds:      secs,
+			PointsPerSec: float64(sub.Points) / secs,
+			Simulations:  after.Simulations - before.Simulations,
+			StoreHits:    after.StoreHits - before.StoreHits,
+		}
+	}
+
+	b.ResetTimer()
+	cold := sweep("cold")
+	warm := sweep("warm")
+	b.StopTimer()
+
+	points := len(archs) * len(wls)
+	if cold.Simulations != uint64(points) {
+		b.Fatalf("cold sweep ran %d simulations, want %d", cold.Simulations, points)
+	}
+	if warm.Simulations != 0 || warm.StoreHits != uint64(points) {
+		b.Fatalf("warm sweep must be pure store hits: %+v", warm)
+	}
+	warm.Speedup = cold.Seconds / warm.Seconds
+
+	stats := srv.Stats()
+	doc := serveBench{
+		Note: fmt.Sprintf("gscalar-serve sweep throughput over the HTTP API: one cold sweep "+
+			"(every point simulates) vs an identical warm resubmission (every point a store "+
+			"hit, zero simulations — asserted). %d workers on a %d-core host; wall-clock "+
+			"includes HTTP, queueing, and store I/O.", stats.Workers, runtime.NumCPU()),
+		ConfigHash: cfg.Hash(),
+		HostCores:  runtime.NumCPU(),
+		Workers:    stats.Workers,
+		Archs:      archs,
+		Workloads:  wls,
+		Rows:       []serveSnapshot{cold, warm},
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("cold %.2fs (%.1f pts/s), warm %.4fs (%.0f pts/s), speedup %.0fx",
+		cold.Seconds, cold.PointsPerSec, warm.Seconds, warm.PointsPerSec, warm.Speedup)
+}

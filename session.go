@@ -10,10 +10,12 @@ import (
 )
 
 // Progress is the point-in-time snapshot passed to a Session's Observer.
+// The JSON tags are a stable serialization contract: the sweep server's
+// job-status endpoint streams these snapshots to clients.
 type Progress struct {
-	Cycle     uint64 // current simulated cycle
-	WarpInsts uint64 // warp instructions committed chip-wide so far
-	LiveSMs   int    // SMs that still have resident work
+	Cycle     uint64 `json:"cycle"`      // current simulated cycle
+	WarpInsts uint64 `json:"warp_insts"` // warp instructions committed chip-wide so far
+	LiveSMs   int    `json:"live_sms"`   // SMs that still have resident work
 }
 
 // Session is a validated run context: one (Config, Arch) pair whose

@@ -124,6 +124,12 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 	return enc.Encode(m)
 }
 
+// JSON returns the metrics as one compact JSON object — the blob shape the
+// result store persists alongside each simulation point.
+func (m *Metrics) JSON() ([]byte, error) {
+	return json.Marshal(m)
+}
+
 // WriteJSON writes the set as {"runs": [...]}.
 func (ms MetricsSet) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
