@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race skipdet valcancel relaxdet telemetry perfsmoke serve fmt fmtcheck bench bench-parallel bench-serve profile
+.PHONY: check build test vet race skipdet valcancel relaxdet tracedet telemetry perfsmoke serve fmt fmtcheck bench bench-parallel bench-serve profile
 
-check: fmtcheck build test vet skipdet valcancel relaxdet telemetry perfsmoke serve race
+check: fmtcheck build test vet skipdet valcancel relaxdet tracedet telemetry perfsmoke serve race
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,16 @@ race:
 # for worker-startup-order and functional-correctness properties.
 relaxdet:
 	$(GO) test -run 'TestRelaxed|TestResolveWorkers' . ./internal/gpu
+
+# Trace capture/replay gate: the internal/trace codec unit tests (round-trip,
+# truncation/version/CRC rejection, unknown-section skip) plus the root-level
+# capture→replay determinism suite — every builtin workload captured and
+# replayed byte-identically (Result + telemetry) under serial and phased
+# loops, content-hash key stability, and parallel-loop capture rejection.
+# Runs the full 17-workload x 2-architecture sweep (~20 s).
+tracedet:
+	$(GO) test ./internal/trace
+	$(GO) test -run 'TestTrace|TestUnknownWorkloadSpec' .
 
 # Telemetry gate: the registry/recorder unit tests, the exporter goldens
 # (JSON/CSV/Chrome-trace shape), and the telemetry-on-vs-off bit-identity

@@ -14,11 +14,13 @@ package gscalar_test
 // paper-vs-measured comparison for every target below.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
@@ -513,13 +515,36 @@ type refMeas struct {
 	Speedup       float64 `json:"speedup"`
 }
 
+// traceReplayReference records the execution-trace frontend's cost on a few
+// representative workloads, regenerated live by `make bench`: capturing a
+// run (serial loop with the trace hook installed, plus the atomic file
+// write) and replaying the captured file (decode + reassemble + re-execute
+// through the normal pipeline), each against a plain live serial run.
+// Replay re-simulates from the trace's embedded input, so replay ≈ live is
+// the expectation; capture pays the per-instruction record encode.
+type traceReplayReference struct {
+	Note      string                `json:"note"`
+	Workloads map[string]replayMeas `json:"workloads"`
+}
+
+type replayMeas struct {
+	LiveSeconds     float64 `json:"live_seconds"`
+	CaptureSeconds  float64 `json:"capture_seconds"`
+	ReplaySeconds   float64 `json:"replay_seconds"`
+	TraceBytes      int64   `json:"trace_bytes"`
+	CaptureOverhead float64 `json:"capture_overhead"` // capture/live
+	ReplayOverhead  float64 `json:"replay_overhead"`  // replay/live
+}
+
 // coreBench is the BENCH_core.json document: the fixed pre-rework
 // reference, the SoA-rework reference (fixed "before" column, live "after"
-// column), plus live rows regenerated by `make bench`.
+// column), the trace capture/replay overhead block, plus live rows
+// regenerated by `make bench`.
 type coreBench struct {
-	PreRework preReworkReference `json:"pre_rework_reference"`
-	SoARework preReworkReference `json:"soa_rework_reference"`
-	Rows      []coreSnapshot     `json:"rows"`
+	PreRework   preReworkReference   `json:"pre_rework_reference"`
+	SoARework   preReworkReference   `json:"soa_rework_reference"`
+	TraceReplay traceReplayReference `json:"trace_replay_reference"`
+	Rows        []coreSnapshot       `json:"rows"`
 }
 
 // BenchmarkCoreSpeedup measures the SM core loop's simulator performance
@@ -594,6 +619,43 @@ func BenchmarkCoreSpeedup(b *testing.B) {
 			}
 		}
 	}
+	// Trace capture/replay overhead on three representative workloads:
+	// divergence-heavy (HS), memory-bound (LBM), loop/gather-heavy (MV).
+	replayWl := map[string]replayMeas{}
+	for _, abbr := range []string{"HS", "LBM", "MV"} {
+		liveRes, liveSec := timedRun(b, abbr, 0, false)
+		path := filepath.Join(b.TempDir(), abbr+".gstr")
+		s, err := gscalar.NewSession(benchCfg(0, false), gscalar.GScalar)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Capture.Path = path
+		t0 := time.Now()
+		if _, err := s.RunWorkload(context.Background(), abbr, *benchScale); err != nil {
+			b.Fatal(err)
+		}
+		capSec := time.Since(t0).Seconds()
+		fi, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 = time.Now()
+		repRes, err := runWorkloadVia(b, benchCfg(0, false), gscalar.GScalar, "trace:"+path, *benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		repSec := time.Since(t0).Seconds()
+		// Replay is re-execution: byte-identical to the live serial run.
+		if !reflect.DeepEqual(liveRes, repRes) {
+			b.Fatalf("%s: replayed result differs from live serial run", abbr)
+		}
+		replayWl[abbr] = replayMeas{
+			LiveSeconds: liveSec, CaptureSeconds: capSec, ReplaySeconds: repSec,
+			TraceBytes:      fi.Size(),
+			CaptureOverhead: capSec / liveSec, ReplayOverhead: repSec / liveSec,
+		}
+	}
+
 	b.StopTimer()
 	b.ReportMetric(lbmSpeedup, "LBM-skip-speedup")
 	b.ReportMetric(suiteAfter, "suite-s")
@@ -619,6 +681,13 @@ func BenchmarkCoreSpeedup(b *testing.B) {
 				"LBM": {SecondsBefore: 1.72, SecondsAfter: 0.55, Speedup: 3.1},
 				"HS":  {SecondsBefore: 0.35, SecondsAfter: 0.13, Speedup: 2.7},
 			},
+		},
+		TraceReplay: traceReplayReference{
+			Note: "serial loop, GScalar arch; capture = live run with the " +
+				"trace hook + atomic .gstr write; replay = decode + " +
+				"re-execution via -workload trace:<file>, asserted " +
+				"bit-identical to the live run",
+			Workloads: replayWl,
 		},
 		Rows: snaps,
 	}

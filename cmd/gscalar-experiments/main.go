@@ -12,14 +12,20 @@
 //	gscalar-experiments [-exp all|fig1|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|moves]
 //	                    [-scale N] [-sms N] [-bench BP,LBM,...] [-parallel N] [-workers N]
 //	                    [-config chip.json] [-dump-config] [-timeout 10m]
-//	                    [-metrics-out DIR] [-metrics-format json|csv] [-trace-out DIR]
-//	                    [-cpuprofile exp.pprof] [-memprofile exp.mprof]
+//	                    [-metrics-out DIR] [-metrics-format json|csv] [-chrome-trace DIR]
+//	                    [-trace-out DIR] [-cpuprofile exp.pprof] [-memprofile exp.mprof]
 //
-// With -metrics-out (and/or -trace-out) every freshly simulated
+// With -metrics-out (and/or -chrome-trace) every freshly simulated
 // (architecture, workload) point additionally writes its telemetry — final
 // counters plus the sampled time series, and a Perfetto-loadable Chrome
 // trace — into the given directory as <arch>_<workload> files. Memoized
 // cache hits produce no new telemetry and therefore no files.
+//
+// -trace-out DIR captures every freshly simulated point as a replayable
+// execution trace (<arch>_<workload>.gstr, written atomically on success;
+// serial loop only). A captured trace replays through gscalar-sim
+// -workload trace:<file> — or back through this command, since -bench
+// accepts trace:<path> specs alongside benchmark abbreviations.
 package main
 
 import (
@@ -43,11 +49,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig8, fig9, fig10, fig11, fig12, table1, table2, table3, moves, compiler, half, scalarbank, width, sched)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	sms := flag.Int("sms", 0, "override number of SMs (0 = Table 1 value)")
-	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+	bench := flag.String("bench", "", "comma-separated workload subset: abbreviations and/or trace:<path> specs (default: all)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	metricsOut := flag.String("metrics-out", "", "write per-point telemetry (counters + time series) into this directory")
 	metricsFormat := flag.String("metrics-format", "json", "telemetry file format: json or csv")
-	traceOut := flag.String("trace-out", "", "write per-point Chrome trace-event files into this directory")
+	chromeTrace := flag.String("chrome-trace", "", "write per-point Chrome trace-event files into this directory")
+	traceOut := flag.String("trace-out", "", "capture every freshly simulated point as a replayable execution trace (.gstr) in this directory (serial loop only)")
 	parallel := flag.Int("parallel", 1, "simulate up to N (arch, workload) points concurrently; output is identical to -parallel 1")
 	workers := flag.Int("workers", 0, "phased-loop compute workers per simulation (0 = legacy serial loop, -1 = one per host core)")
 	relaxed := flag.Bool("relaxed", false, "use the epoch-based relaxed-sync parallel loop (deterministic, not bit-identical to serial; scales with -workers)")
@@ -125,12 +132,12 @@ func main() {
 		fail(fmt.Errorf("unknown -metrics-format %q (want json or csv)", *metricsFormat))
 	}
 
-	opts := experiments.Options{Config: cfg, Scale: *scale}
+	opts := experiments.Options{Config: cfg, Scale: *scale, CaptureDir: *traceOut}
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
 	}
-	if *metricsOut != "" || *traceOut != "" {
-		sink, err := newMetricsSink(*metricsOut, *metricsFormat, *traceOut)
+	if *metricsOut != "" || *chromeTrace != "" {
+		sink, err := newMetricsSink(*metricsOut, *metricsFormat, *chromeTrace)
 		if err != nil {
 			fail(err)
 		}

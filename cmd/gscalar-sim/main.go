@@ -1,7 +1,8 @@
-// Command gscalar-sim runs one Table 2 benchmark under one architecture and
-// prints the detailed simulation result: cycles, IPC, power and its
-// component shares, scalar-eligibility decomposition, RF access classes,
-// and compression statistics.
+// Command gscalar-sim runs one workload under one architecture and prints
+// the detailed simulation result: cycles, IPC, power and its component
+// shares, scalar-eligibility decomposition, RF access classes, and
+// compression statistics. A workload is either a Table 2 benchmark
+// abbreviation or a captured execution trace ("trace:<path>").
 //
 // The chip configuration can be loaded from a JSON file (-config); flags
 // given explicitly on the command line override the file. -dump-config
@@ -12,16 +13,22 @@
 //
 // Usage:
 //
-//	gscalar-sim -bench BP [-arch gscalar] [-scale 1] [-sms 15] [-workers N]
+//	gscalar-sim -workload BP [-arch gscalar] [-scale 1] [-sms 15] [-workers N]
 //	            [-config chip.json] [-dump-config] [-timeout 30s] [-progress N]
-//	            [-metrics-out m.json] [-metrics-format json|csv] [-trace-out t.json]
-//	            [-sample-stride N] [-noskip] [-cpuprofile sim.pprof]
-//	            [-memprofile sim.mprof] [-list]
+//	            [-metrics-out m.json] [-metrics-format json|csv] [-chrome-trace t.json]
+//	            [-trace-out w.gstr] [-sample-stride N] [-noskip]
+//	            [-cpuprofile sim.pprof] [-memprofile sim.mprof] [-list-workloads]
 //
 // With -metrics-out the run's final counters and sampled time series are
-// written as JSON (or CSV with -metrics-format csv); -trace-out emits a
+// written as JSON (or CSV with -metrics-format csv); -chrome-trace emits a
 // Chrome trace-event file of per-SM activity, loadable in Perfetto. Both
 // compose with -all, which bundles every benchmark into one file.
+//
+// -trace-out captures the run as a replayable execution trace (written
+// atomically after a successful run): replay it anywhere with
+// -workload trace:<file>, under any architecture or chip loop, and the
+// replayed result is byte-identical to the live run. Capture requires the
+// serial loop and a single workload (not -all).
 package main
 
 import (
@@ -42,11 +49,15 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark abbreviation (see -list)")
+	var workload string
+	flag.StringVar(&workload, "workload", "", "workload spec: a benchmark abbreviation or trace:<path> (see -list-workloads)")
+	flag.StringVar(&workload, "bench", "", "alias of -workload")
 	archName := flag.String("arch", "gscalar", "architecture: "+strings.Join(gscalar.ArchNames(), ", "))
 	scale := flag.Int("scale", 1, "workload scale factor")
 	sms := flag.Int("sms", 0, "override number of SMs")
-	list := flag.Bool("list", false, "list benchmarks and exit")
+	var list bool
+	flag.BoolVar(&list, "list", false, "list builtin workloads and exit")
+	flag.BoolVar(&list, "list-workloads", false, "alias of -list")
 	breakdown := flag.Bool("breakdown", false, "print the per-component power breakdown")
 	all := flag.Bool("all", false, "run every Table 2 benchmark and print a summary table")
 	workers := flag.Int("workers", 0, "phased-loop compute workers (0 = legacy serial loop, -1 = one per host core)")
@@ -59,7 +70,8 @@ func main() {
 	progress := flag.Uint64("progress", 0, "report progress to stderr every N simulated cycles (0 = off)")
 	metricsOut := flag.String("metrics-out", "", "write final counters and the sampled time series to this file")
 	metricsFormat := flag.String("metrics-format", "json", "metrics file format: json or csv")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) to this file")
+	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event file (Perfetto-loadable) to this file")
+	traceOut := flag.String("trace-out", "", "capture the run as a replayable execution trace at this path (serial loop only; replay with -workload trace:<path>)")
 	sampleStride := flag.Uint64("sample-stride", 0, "simulated cycles between telemetry samples (0 = lifecycle checkpoint stride)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to this file")
@@ -70,7 +82,7 @@ func main() {
 		os.Exit(1)
 	}
 	telemetry := gscalar.TelemetryOptions{
-		Enabled:      *metricsOut != "" || *traceOut != "",
+		Enabled:      *metricsOut != "" || *chromeTrace != "",
 		SampleStride: *sampleStride,
 	}
 
@@ -81,11 +93,12 @@ func main() {
 	}
 	defer prof.Stop()
 
-	if *list {
+	if list {
 		for _, abbr := range gscalar.Workloads() {
 			w, _ := gscalar.WorkloadByAbbr(abbr)
 			fmt.Printf("%-4s %-11s %-8s %s\n", w.Abbr, w.Name, w.Suite, w.Desc)
 		}
+		fmt.Println("\ntrace:<path>  replay an execution trace captured with -trace-out")
 		return
 	}
 
@@ -141,11 +154,14 @@ func main() {
 	}
 
 	if *all {
-		runAll(ctx, cfg, arch, *scale, telemetry, *metricsOut, *metricsFormat, *traceOut)
+		if *traceOut != "" {
+			fatal(fmt.Errorf("-trace-out captures a single run; it cannot be combined with -all"))
+		}
+		runAll(ctx, cfg, arch, *scale, telemetry, *metricsOut, *metricsFormat, *chromeTrace)
 		return
 	}
-	if *bench == "" {
-		fatal(fmt.Errorf("missing -bench (use -list to see options)"))
+	if workload == "" {
+		fatal(fmt.Errorf("missing -workload (use -list-workloads to see options)"))
 	}
 
 	s, err := gscalar.NewSession(cfg, arch)
@@ -153,6 +169,7 @@ func main() {
 		fatal(err)
 	}
 	s.Telemetry = telemetry
+	s.Capture.Path = *traceOut
 	if *progress > 0 {
 		s.ObserverStride = *progress
 		start := time.Now()
@@ -161,17 +178,17 @@ func main() {
 				p.Cycle, p.WarpInsts, p.LiveSMs, time.Since(start).Seconds())
 		}
 	}
-	res, err := s.RunWorkload(ctx, *bench, *scale)
+	res, err := s.RunWorkload(ctx, workload, *scale)
 	if err != nil && !isCancel(err) {
 		fatal(err)
 	}
 	if isCancel(err) {
 		fmt.Fprintf(os.Stderr, "gscalar-sim: %v — printing partial statistics\n", err)
 	}
-	printResult(*bench, arch, *scale, cfg, res, *breakdown)
+	printResult(workload, arch, *scale, cfg, res, *breakdown)
 	// A cancelled run still flushes the partial series collected so far.
 	if m := s.Metrics(); m != nil {
-		if werr := writeTelemetry(gscalar.MetricsSet{m}, *metricsOut, *metricsFormat, *traceOut); werr != nil {
+		if werr := writeTelemetry(gscalar.MetricsSet{m}, *metricsOut, *metricsFormat, *chromeTrace); werr != nil {
 			fatal(werr)
 		}
 	}
@@ -187,7 +204,7 @@ func main() {
 // (store.AtomicWrite: temp file + rename), so an export that fails
 // mid-render leaves no truncated artifact behind — and never clobbers a
 // previous good one.
-func writeTelemetry(set gscalar.MetricsSet, metricsOut, format, traceOut string) error {
+func writeTelemetry(set gscalar.MetricsSet, metricsOut, format, chromeTrace string) error {
 	if len(set) == 0 {
 		return nil
 	}
@@ -208,7 +225,7 @@ func writeTelemetry(set gscalar.MetricsSet, metricsOut, format, traceOut string)
 	}); err != nil {
 		return err
 	}
-	return write(traceOut, set.WriteTrace)
+	return write(chromeTrace, set.WriteTrace)
 }
 
 // loadConfig returns the default configuration, or the one decoded from the
@@ -277,7 +294,7 @@ func printResult(bench string, arch gscalar.Arch, scale int, cfg gscalar.Config,
 // cancellation still flushes the in-flight benchmark's partial row — and the
 // partial telemetry — before exiting.
 func runAll(ctx context.Context, cfg gscalar.Config, arch gscalar.Arch, scale int,
-	tel gscalar.TelemetryOptions, metricsOut, metricsFormat, traceOut string) {
+	tel gscalar.TelemetryOptions, metricsOut, metricsFormat, chromeTrace string) {
 	s, err := gscalar.NewSession(cfg, arch)
 	if err != nil {
 		fatal(err)
@@ -285,7 +302,7 @@ func runAll(ctx context.Context, cfg gscalar.Config, arch gscalar.Arch, scale in
 	s.Telemetry = tel
 	var set gscalar.MetricsSet
 	flush := func() {
-		if werr := writeTelemetry(set, metricsOut, metricsFormat, traceOut); werr != nil {
+		if werr := writeTelemetry(set, metricsOut, metricsFormat, chromeTrace); werr != nil {
 			fatal(werr)
 		}
 	}

@@ -2,7 +2,10 @@ package gscalar
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
+	"strings"
 
 	"gscalar/internal/asm"
 	"gscalar/internal/kernel"
@@ -170,10 +173,44 @@ func errUnknownWorkload(abbr string) error {
 	return &UnknownWorkloadError{Abbr: abbr}
 }
 
-// UnknownWorkloadError is returned for an unrecognised benchmark
-// abbreviation.
+// UnknownWorkloadError is returned for a workload spec that names neither a
+// Table 2 benchmark nor a trace file.
 type UnknownWorkloadError struct{ Abbr string }
 
 func (e *UnknownWorkloadError) Error() string {
-	return "gscalar: unknown workload " + e.Abbr + " (see Workloads())"
+	return fmt.Sprintf("gscalar: unknown workload %q (valid: %s; or %s<path> to replay a captured trace)",
+		e.Abbr, strings.Join(workloads.Abbrs(), " "), workloads.TracePrefix)
+}
+
+// CanonicalWorkloadKey resolves a workload spec — a Table 2 abbreviation or
+// "trace:<path>" — to its canonical cache identity: the abbreviation itself
+// for builtins, "trace:" + the trace file's sha256 content hash for trace
+// replays. Two specs with equal keys simulate identically, which is what
+// lets the experiment cache and the sweep server's result store key
+// trace-backed points on trace *content* rather than on a file path that
+// may be moved, copied or overwritten.
+func CanonicalWorkloadKey(spec string) (string, error) {
+	src, err := workloads.Resolve(spec)
+	if err != nil {
+		var unk *workloads.UnknownError
+		if errors.As(err, &unk) {
+			return "", errUnknownWorkload(spec)
+		}
+		return "", fmt.Errorf("gscalar: workload %s: %w", spec, err)
+	}
+	return src.Key(), nil
+}
+
+// DescribeWorkload returns a one-line human description of a workload spec
+// (builtin benchmark or trace replay).
+func DescribeWorkload(spec string) (string, error) {
+	src, err := workloads.Resolve(spec)
+	if err != nil {
+		var unk *workloads.UnknownError
+		if errors.As(err, &unk) {
+			return "", errUnknownWorkload(spec)
+		}
+		return "", fmt.Errorf("gscalar: workload %s: %w", spec, err)
+	}
+	return src.Describe(), nil
 }

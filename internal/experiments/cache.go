@@ -69,7 +69,18 @@ func canonicalHash(cfg gscalar.Config) string {
 // the disk-backed result store behind gscalar-serve (internal/store). Two
 // points share a key iff they denote the same simulation input, so a key
 // can never be served a stale or foreign result.
+//
+// The workload component is canonicalized: a trace-backed spec
+// ("trace:<path>") keys on "trace:" + the file's sha256 content hash, so the
+// same capture is one cache entry under any path, and replacing the file
+// behind a path can never be served the old file's result. A spec that
+// fails to resolve (unknown name, unreadable trace) keys on its literal
+// text; the simulation itself then reports the real error, and a key that
+// never simulates successfully is never stored.
 func PointKey(cfg gscalar.Config, scale int, arch gscalar.Arch, abbr string) string {
+	if key, err := gscalar.CanonicalWorkloadKey(abbr); err == nil {
+		abbr = key
+	}
 	return store.Key(canonicalHash(cfg), scale, arch.String(), abbr)
 }
 

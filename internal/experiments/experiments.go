@@ -10,6 +10,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"gscalar"
@@ -33,6 +34,13 @@ type Options struct {
 	// Under the parallel prewarm fan-out it is called concurrently and must
 	// be safe for that.
 	OnMetrics func(arch gscalar.Arch, abbr string, m *gscalar.Metrics)
+	// CaptureDir, when non-empty, writes a replayable trace of every
+	// freshly simulated point to <CaptureDir>/<arch>_<workload>.gstr (each
+	// file is written atomically; replay with -workload trace:<file>).
+	// Capture requires the serial chip loop, so it is incompatible with
+	// Config.Workers/EpochCycles. Cache hits write no trace — their run was
+	// not re-simulated.
+	CaptureDir string
 }
 
 // Defaults fills unset fields.
@@ -85,6 +93,9 @@ func (r *runner) runCtx(ctx context.Context, arch gscalar.Arch, abbr string) (gs
 			return nil, err
 		}
 		s.Telemetry = r.o.Telemetry
+		if r.o.CaptureDir != "" {
+			s.Capture.Path = filepath.Join(r.o.CaptureDir, pointFileName(arch, abbr)+".gstr")
+		}
 		res, err := s.RunWorkload(ctx, abbr, r.o.Scale)
 		if err != nil {
 			return nil, err
@@ -100,6 +111,14 @@ func (r *runner) runCtx(ctx context.Context, arch gscalar.Arch, abbr string) (gs
 		return gscalar.Result{}, err
 	}
 	return v.(gscalar.Result), nil
+}
+
+// pointFileName renders an (arch, workload-spec) pair as a safe file-name
+// stem: path separators and the trace-spec colon are flattened, so a
+// re-captured "trace:/dir/f.gstr" spec still lands in CaptureDir.
+func pointFileName(arch gscalar.Arch, abbr string) string {
+	clean := strings.NewReplacer("/", "_", "\\", "_", ":", "_").Replace(abbr)
+	return arch.String() + "_" + clean
 }
 
 // Suite bundles a cached runner over one option set; create it once and

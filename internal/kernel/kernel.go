@@ -5,6 +5,7 @@ package kernel
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"gscalar/internal/isa"
 )
@@ -220,6 +221,57 @@ func (m *Memory) load8(addr uint32) byte {
 	return p[addr%pageSize]
 }
 func (m *Memory) store8(addr uint32, b byte) { m.page(addr)[addr%pageSize] = b }
+
+// MemPage is one page of a Memory snapshot: the page id (byte address /
+// pageSize) and its contents with trailing zero bytes trimmed.
+type MemPage struct {
+	ID   uint32
+	Data []byte
+}
+
+// Snapshot captures the memory's full observable state: the bump-allocator
+// cursor and every page holding a non-zero byte, in ascending page-id order
+// with trailing zeros trimmed. Restoring it via NewMemoryFromSnapshot yields
+// a Memory whose every Load32 returns the same value and whose next Alloc
+// lands at the same address — absent pages and trimmed tails read as zero,
+// which is exactly how the paged storage treats them. The page data is
+// copied, so the snapshot stays valid while the source memory keeps
+// mutating.
+func (m *Memory) Snapshot() (next uint32, pages []MemPage) {
+	ids := make([]uint32, 0, len(m.pages))
+	for id := range m.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := m.pages[id]
+		n := pageSize
+		for n > 0 && p[n-1] == 0 {
+			n--
+		}
+		if n == 0 {
+			continue
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
+		pages = append(pages, MemPage{ID: id, Data: data})
+	}
+	return m.next, pages
+}
+
+// NewMemoryFromSnapshot materialises a fresh Memory from a Snapshot. Page
+// data longer than a page is truncated (a well-formed snapshot never
+// produces one), so a hostile snapshot cannot write out of bounds.
+func NewMemoryFromSnapshot(next uint32, pages []MemPage) *Memory {
+	m := NewMemory()
+	m.next = next
+	for _, pg := range pages {
+		p := new([pageSize]byte)
+		copy(p[:], pg.Data)
+		m.pages[pg.ID] = p
+	}
+	return m
+}
 
 // StoreBuffer defers global-memory stores for the phased (parallel)
 // simulation mode: during the concurrent compute phase each SM's warps

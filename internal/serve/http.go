@@ -17,11 +17,13 @@ import (
 //	GET  /api/v1/jobs/{id}/result  completed Results (byte-identical store bytes)
 //	GET  /api/v1/jobs/{id}/metrics stored telemetry blobs of completed points
 //	POST /api/v1/jobs/{id}/cancel  cancel queued and running points
+//	GET  /api/v1/workloads         workload catalog (builtins + trace-spec syntax)
 //	GET  /api/v1/stats             server counters
 //	GET  /healthz                  liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
@@ -319,6 +321,33 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// workloadView is one catalog entry of GET /api/v1/workloads.
+type workloadView struct {
+	Abbr  string `json:"abbr"`
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+	Desc  string `json:"desc"`
+}
+
+// handleWorkloads serves the workload catalog: every builtin benchmark in
+// Table 2 order, plus the spec syntax for trace replays, so clients can
+// discover valid "workload" values before submitting.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	abbrs := gscalar.Workloads()
+	views := make([]workloadView, 0, len(abbrs))
+	for _, a := range abbrs {
+		info, ok := gscalar.WorkloadByAbbr(a)
+		if !ok {
+			continue
+		}
+		views = append(views, workloadView{Abbr: info.Abbr, Name: info.Name, Suite: info.Suite, Desc: info.Desc})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workloads":  views,
+		"trace_spec": "trace:<path> — replay a trace captured with gscalar-sim -trace-out (the path must be readable by the server)",
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -123,8 +123,16 @@ func specFromParts(cfgJSON json.RawMessage, archName, workload string, scale int
 		return PointSpec{}, fmt.Errorf("unknown arch %q (valid: %v)", archName, gscalar.ArchNames())
 	}
 	spec.Arch = arch
-	if _, ok := gscalar.WorkloadByAbbr(workload); !ok {
-		return PointSpec{}, fmt.Errorf("unknown workload %q (valid: %v)", workload, gscalar.Workloads())
+	// A workload is a spec: a builtin abbreviation or "trace:<path>".
+	// CanonicalWorkloadKey resolves both — for traces it decodes the file,
+	// so a submission referencing a missing or corrupt trace is rejected
+	// here with the decoder's typed error instead of failing mid-sweep.
+	if _, err := gscalar.CanonicalWorkloadKey(workload); err != nil {
+		var unk *gscalar.UnknownWorkloadError
+		if errors.As(err, &unk) {
+			return PointSpec{}, fmt.Errorf("unknown workload %q (valid: %v; or trace:<path>)", workload, gscalar.Workloads())
+		}
+		return PointSpec{}, fmt.Errorf("workload %q: %w", workload, err)
 	}
 	spec.Workload = workload
 	if scale == 0 {

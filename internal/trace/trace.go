@@ -1,0 +1,170 @@
+// Package trace defines the versioned instruction-trace format that powers
+// the capture/replay workload frontend (Accel-Sim style trace-driven
+// execution, ROADMAP "Scenario diversity").
+//
+// A trace file is self-describing: it carries the complete simulation input
+// — the kernel program (as .gasm disassembly text, which reassembles
+// bit-exactly), the launch configuration, and the initial global-memory
+// image — plus the dynamic instruction stream observed at the warp-execute
+// boundary. Replay therefore reconstructs a workloads.Instance and drives
+// the *unmodified* SM pipeline, so a replayed run is byte-identical to the
+// live run it was captured from, under any architecture and any chip loop.
+// The record stream is the analysis payload (opcode class, per-lane active
+// masks, destination value-class tags, memory addresses — enough to drive
+// scalar detection, BDI compression and memory-model studies offline); it is
+// not needed to re-execute.
+//
+// # Binary format (version 1)
+//
+//	magic   "GSTR"                      4 bytes
+//	version 0x01                        1 byte
+//	section*                            tagged, length-prefixed
+//	footer  tag 0x00 + CRC32            5 bytes, must be last
+//
+// Each section is {tag uint8, length uvarint, payload [length]byte}. A
+// decoder skips sections with tags it does not know, so future versions can
+// add sections without breaking old readers; bumping the version byte is
+// reserved for changes old readers would silently misread. Defined tags:
+//
+//	1  meta     JSON-encoded Meta (no timestamps: capturing the same run
+//	            twice yields identical bytes, so traces are content-addressable)
+//	2  program  .gasm disassembly text (asm.Disassemble; reassembles bit-exact)
+//	3  launch   JSON-encoded kernel.LaunchConfig
+//	4  memory   initial global-memory snapshot:
+//	            uvarint next-alloc cursor, uvarint page count, then per page
+//	            uvarint page id + uvarint byte count + raw bytes
+//	            (trailing zeros trimmed; absent pages read as zero)
+//	5  records  uvarint record count, then records back to back (see below)
+//
+// The footer is a literal 0x00 tag followed by the little-endian CRC32
+// (IEEE) of every preceding byte (magic through the 0x00 tag inclusive). A
+// file that ends before the footer — the only state an interrupted write
+// could leave, and store.AtomicWrite prevents even that — fails decoding
+// with ErrTruncated; a corrupted file fails the CRC with *FormatError.
+//
+// # Record encoding
+//
+// One record per executed warp-instruction, in commit order:
+//
+//	uvarint sm, uvarint warp, uvarint pc
+//	uint8   opcode (isa.Opcode)
+//	uint8   flags: 1 mem | 2 global | 4 store | 8 divergent | 16 exited |
+//	               32 barrier | 64 took-branch | 128 branch-diverged
+//	uvarint issued mask, uvarint active mask
+//	uvarint dst+1 (0 = no register writeback)
+//	uint8   shared-MSB-bytes value-class tag (0..4), present iff dst+1 != 0
+//	uvarint first byte address, then zigzag-varint deltas — one address per
+//	        set bit of the active mask, present iff the mem flag is set
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Format constants.
+const (
+	Magic   = "GSTR"
+	Version = 1
+)
+
+// Section tags.
+const (
+	tagFooter  = 0
+	tagMeta    = 1
+	tagProgram = 2
+	tagLaunch  = 3
+	tagMemory  = 4
+	tagRecords = 5
+)
+
+// Record flag bits.
+const (
+	flagMem            = 1 << 0
+	flagGlobal         = 1 << 1
+	flagStore          = 1 << 2
+	flagDivergent      = 1 << 3
+	flagExited         = 1 << 4
+	flagBarrier        = 1 << 5
+	flagTookBranch     = 1 << 6
+	flagBranchDiverged = 1 << 7
+)
+
+// Meta describes where a trace came from. It deliberately carries no
+// timestamps or host identifiers: capturing the same run twice must produce
+// identical bytes so the content hash can serve as a cache key.
+type Meta struct {
+	// Workload is the builtin abbreviation the capture ran (e.g. "HS"), or
+	// whatever label the capturing session chose for a custom program.
+	Workload string `json:"workload,omitempty"`
+	// Arch is the architecture model the capture ran under. Replay is free
+	// to pick a different one — the trace carries the simulation input, and
+	// the input is architecture-independent.
+	Arch string `json:"arch,omitempty"`
+	// Scale is the workload scale the capture was built at.
+	Scale int `json:"scale,omitempty"`
+	// ConfigHash is the canonical hash of the capturing run's Config.
+	ConfigHash string `json:"config_hash,omitempty"`
+	// WarpSize is the warp width of the capturing run; masks and address
+	// vectors in the record stream are per-lane over this width.
+	WarpSize int `json:"warp_size"`
+}
+
+// Record is one decoded warp-instruction execution.
+type Record struct {
+	SM   int
+	Warp int
+	PC   int
+	Op   uint8 // isa.Opcode value
+
+	Issued uint64 // lanes live at the stack top when fetched (pre-guard)
+	Active uint64 // lanes that executed (guard applied)
+
+	// DstReg is the written register, -1 if the instruction wrote none.
+	DstReg int
+	// SharedMSBBytes is the destination value-class tag: how many leading
+	// bytes all active lanes' written values share (0..4; 4 = fully
+	// uniform). Valid only when DstReg >= 0.
+	SharedMSBBytes uint8
+
+	IsMem    bool
+	IsGlobal bool
+	IsStore  bool
+	// Addrs holds one byte address per set bit of Active (ascending lane
+	// order) when IsMem; nil otherwise.
+	Addrs []uint32
+
+	Divergent      bool
+	Exited         bool
+	AtBarrier      bool
+	TookBranch     bool
+	BranchDiverged bool
+}
+
+// ErrTruncated reports a trace that ends mid-structure — the input ran out
+// before the footer, as a partially transferred or hand-truncated file
+// would.
+var ErrTruncated = errors.New("trace: truncated trace")
+
+// VersionError reports a trace written by an incompatible format version.
+type VersionError struct {
+	Got int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("trace: unsupported format version %d (this reader handles version %d)", e.Got, Version)
+}
+
+// FormatError reports structurally invalid trace bytes: bad magic, a CRC
+// mismatch, malformed varints, or section payloads that fail to parse.
+type FormatError struct {
+	Offset int // byte offset of the problem, -1 if not byte-addressable
+	Msg    string
+}
+
+func (e *FormatError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("trace: invalid trace at byte %d: %s", e.Offset, e.Msg)
+	}
+	return "trace: invalid trace: " + e.Msg
+}

@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"gscalar/internal/asm"
+	"gscalar/internal/isa"
+	"gscalar/internal/kernel"
+	"gscalar/internal/warp"
+)
+
+const testProg = `
+.kernel tracedemo
+	mov r1, %tid.x
+	iadd r2, r1, 5
+	ldg r3, [r2]
+	exit
+`
+
+// buildCapture assembles a tiny kernel, snapshots a small memory image, and
+// appends a handful of synthetic records covering every field class: a plain
+// ALU writeback, a divergent global load with per-lane addresses, and an
+// exit with no destination.
+func buildCapture(t testing.TB) (*Capture, []Record) {
+	t.Helper()
+	prog, err := asm.Assemble(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &kernel.LaunchConfig{
+		Grid:  kernel.Dim{X: 2, Y: 1},
+		Block: kernel.Dim{X: 32, Y: 1},
+	}
+	lc.Params[0] = 0x1234
+	mem := kernel.NewMemory()
+	mem.AllocU32([]uint32{7, 8, 9, 0xdeadbeef})
+
+	meta := Meta{Workload: "HS", Arch: "gscalar", Scale: 1, ConfigHash: "abc", WarpSize: 32}
+	cap := NewCapture(meta, prog, lc, mem)
+
+	uniform := make([]uint32, 32)
+	for i := range uniform {
+		uniform[i] = 42
+	}
+	varied := make([]uint32, 32)
+	for i := range varied {
+		varied[i] = 0x1000 + uint32(i)
+	}
+	addrs := make([]uint32, 32)
+	for i := range addrs {
+		addrs[i] = 0x200 + 4*uint32(i)
+	}
+
+	outs := []warp.Outcome{
+		{
+			PC: 0, Inst: &isa.Instruction{Op: isa.OpMov},
+			Issued: ^uint64(0), Active: ^uint64(0),
+			DstReg: 1, DstVec: uniform,
+		},
+		{
+			PC: 2, Inst: &isa.Instruction{Op: isa.OpLdGlobal},
+			Issued: ^uint64(0), Active: 0x00000000ffff00ff,
+			DstReg: 3, DstVec: varied,
+			IsMem: true, IsGlobal: true, Addrs: addrs,
+			Divergent: true,
+		},
+		{
+			PC: 3, Inst: &isa.Instruction{Op: isa.OpExit},
+			Issued: ^uint64(0), Active: ^uint64(0),
+			DstReg: -1, Exited: true,
+		},
+	}
+	sms := []int{0, 3, 14}
+	warps := []int{0, 17, 255}
+	want := make([]Record, len(outs))
+	for i := range outs {
+		cap.Record(sms[i], warps[i], &outs[i])
+		o := &outs[i]
+		r := Record{
+			SM: sms[i], Warp: warps[i], PC: o.PC, Op: uint8(o.Inst.Op),
+			Issued: o.Issued, Active: o.Active,
+			DstReg: o.DstReg,
+			IsMem:  o.IsMem, IsGlobal: o.IsGlobal, IsStore: o.IsStore,
+			Divergent: o.Divergent, Exited: o.Exited, AtBarrier: o.AtBarrier,
+			TookBranch: o.TookBranch, BranchDiverged: o.BranchDiverged,
+		}
+		if o.DstReg >= 0 {
+			r.SharedMSBBytes = sharedMSBBytes(o.DstVec, o.Active)
+		}
+		if o.IsMem {
+			for m := o.Active; m != 0; m &= m - 1 {
+				lane := 0
+				for ; m&(1<<lane) == 0; lane++ {
+				}
+				r.Addrs = append(r.Addrs, o.Addrs[lane])
+			}
+		}
+		want[i] = r
+	}
+	return cap, want
+}
+
+func encode(t *testing.T, c *Capture) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	cap, want := buildCapture(t)
+	data := encode(t, cap)
+
+	tr, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta != (Meta{Workload: "HS", Arch: "gscalar", Scale: 1, ConfigHash: "abc", WarpSize: 32}) {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+	if len(tr.Hash) != 64 {
+		t.Errorf("hash = %q, want 64 hex chars", tr.Hash)
+	}
+	prog, err := tr.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "tracedemo" || prog.Len() != 4 {
+		t.Errorf("program = %q len %d", prog.Name, prog.Len())
+	}
+	lc := tr.Launch()
+	if lc.Grid != (kernel.Dim{X: 2, Y: 1}) || lc.Block != (kernel.Dim{X: 32, Y: 1}) || lc.Params[0] != 0x1234 {
+		t.Errorf("launch = %+v", lc)
+	}
+	// Launch hands out an independent copy.
+	lc.Params[0] = 0
+	if tr.Launch().Params[0] != 0x1234 {
+		t.Error("Launch() aliases internal state")
+	}
+	mem := tr.NewMemory()
+	if got := mem.ReadU32(256, 4); got[3] != 0xdeadbeef || got[0] != 7 {
+		t.Errorf("memory = %v", got)
+	}
+	// Mutating one replay's memory must not leak into the next.
+	mem.Store32(256, 99)
+	if tr.NewMemory().Load32(256) != 7 {
+		t.Error("NewMemory shares pages between calls")
+	}
+
+	if tr.NumRecords() != len(want) {
+		t.Fatalf("NumRecords = %d, want %d", tr.NumRecords(), len(want))
+	}
+	recs, err := tr.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		w := want[i]
+		if r.SM != w.SM || r.Warp != w.Warp || r.PC != w.PC || r.Op != w.Op ||
+			r.Issued != w.Issued || r.Active != w.Active ||
+			r.DstReg != w.DstReg || r.SharedMSBBytes != w.SharedMSBBytes ||
+			r.IsMem != w.IsMem || r.IsGlobal != w.IsGlobal || r.IsStore != w.IsStore ||
+			r.Divergent != w.Divergent || r.Exited != w.Exited ||
+			r.AtBarrier != w.AtBarrier || r.TookBranch != w.TookBranch ||
+			r.BranchDiverged != w.BranchDiverged {
+			t.Errorf("record %d = %+v, want %+v", i, r, w)
+		}
+		if len(r.Addrs) != len(w.Addrs) {
+			t.Errorf("record %d addrs len = %d, want %d", i, len(r.Addrs), len(w.Addrs))
+			continue
+		}
+		for j := range r.Addrs {
+			if r.Addrs[j] != w.Addrs[j] {
+				t.Errorf("record %d addr %d = %#x, want %#x", i, j, r.Addrs[j], w.Addrs[j])
+			}
+		}
+	}
+
+	// Encoding carries no timestamps: a second encode is byte-identical.
+	if !bytes.Equal(data, encode(t, cap)) {
+		t.Error("re-encoding the same capture produced different bytes")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	cap, _ := buildCapture(t)
+	data := encode(t, cap)
+	for i := 0; i < len(data); i++ {
+		_, err := Decode(data[:i])
+		if err == nil {
+			t.Fatalf("Decode of %d/%d-byte prefix succeeded", i, len(data))
+		}
+		var fe *FormatError
+		if !errors.Is(err, ErrTruncated) && !errors.As(err, &fe) {
+			t.Fatalf("prefix %d: err = %v, want ErrTruncated or FormatError", i, err)
+		}
+	}
+	// A clean cut just before the footer is the canonical truncation.
+	if _, err := Decode(data[:len(data)-5]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("footer-less trace: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	cap, _ := buildCapture(t)
+	data := encode(t, cap)
+	data[len(Magic)] = 2
+	_, err := Decode(data)
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != 2 {
+		t.Fatalf("err = %v, want *VersionError{Got: 2}", err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	_, err := Decode([]byte("XXXX\x01 not a trace at all........"))
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FormatError", err)
+	}
+}
+
+func TestDecodeCRCMismatch(t *testing.T) {
+	cap, _ := buildCapture(t)
+	data := encode(t, cap)
+	// Flip a record payload byte: structurally valid, CRC must catch it.
+	corrupt := bytes.Clone(data)
+	corrupt[len(corrupt)-6] ^= 0xff
+	_, err := Decode(corrupt)
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("payload corruption: err = %v, want *FormatError", err)
+	}
+	// Flip a CRC byte itself.
+	corrupt = bytes.Clone(data)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, err := Decode(corrupt); err == nil {
+		t.Fatal("corrupted CRC accepted")
+	}
+}
+
+// spliceSection inserts a section just before the footer and recomputes the
+// CRC, emulating a writer that emits an extra section.
+func spliceSection(data []byte, tag uint8, payload []byte) []byte {
+	body := bytes.Clone(data[: len(data)-5 : len(data)-5])
+	body = append(body, tag)
+	body = binary.AppendUvarint(body, uint64(len(payload)))
+	body = append(body, payload...)
+	body = append(body, tagFooter)
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
+
+func TestDecodeSkipsUnknownSections(t *testing.T) {
+	cap, want := buildCapture(t)
+	data := spliceSection(encode(t, cap), 200, []byte("from the future"))
+	tr, err := Decode(data)
+	if err != nil {
+		t.Fatalf("unknown section not skipped: %v", err)
+	}
+	if tr.NumRecords() != len(want) {
+		t.Errorf("NumRecords = %d, want %d", tr.NumRecords(), len(want))
+	}
+	if _, err := tr.Records(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsDuplicateSections(t *testing.T) {
+	cap, _ := buildCapture(t)
+	data := spliceSection(encode(t, cap), tagProgram, []byte(".kernel dup\n\texit\n"))
+	_, err := Decode(data)
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("duplicate section: err = %v, want *FormatError", err)
+	}
+}
+
+func TestDecodeTrailingData(t *testing.T) {
+	cap, _ := buildCapture(t)
+	data := append(encode(t, cap), 0xaa)
+	_, err := Decode(data)
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("trailing byte: err = %v, want *FormatError", err)
+	}
+}
+
+func TestSharedMSBBytes(t *testing.T) {
+	cases := []struct {
+		name   string
+		vec    []uint32
+		active uint64
+		want   uint8
+	}{
+		{"uniform", []uint32{5, 5, 5, 5}, 0b1111, 4},
+		{"low byte differs", []uint32{0x11223344, 0x11223345}, 0b11, 3},
+		{"third byte differs", []uint32{0x11220000, 0x11220100}, 0b11, 2},
+		{"top byte differs", []uint32{0x01000000, 0x81000000}, 0b11, 0},
+		{"inactive lanes ignored", []uint32{7, 999, 7, 999}, 0b0101, 4},
+		{"single lane", []uint32{0xffffffff}, 0b1, 4},
+		{"empty mask", []uint32{1, 2}, 0, 4},
+	}
+	for _, c := range cases {
+		if got := sharedMSBBytes(c.vec, c.active); got != c.want {
+			t.Errorf("%s: sharedMSBBytes = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"gscalar/internal/trace"
+)
+
+// Source is the workload-source abstraction: anything that can materialise a
+// runnable Instance. The builtin Table 2 registry and trace files both
+// implement it, so every layer above (Session, experiments, serve, CLIs)
+// resolves one spec syntax and never cares where instructions come from.
+type Source interface {
+	// Key is the canonical cache identity of the workload: the Table 2
+	// abbreviation for builtins, "trace:" + the trace's content hash for
+	// trace files. Two specs with equal Keys build identical instances, so
+	// Key (together with config hash, arch and scale) is safe to use as a
+	// result-store key.
+	Key() string
+	// Describe is a one-line human description.
+	Describe() string
+	// Build constructs a fresh Instance. scale >= 1 grows builtin grids;
+	// trace sources replay the captured launch exactly and ignore it.
+	Build(scale int) (*Instance, error)
+}
+
+// TracePrefix marks a workload spec as a trace-file path: "trace:<path>".
+const TracePrefix = "trace:"
+
+// UnknownError reports a workload spec that names neither a builtin
+// benchmark nor a trace file.
+type UnknownError struct {
+	Spec  string
+	Valid []string // builtin abbreviations, Table 2 order
+}
+
+func (e *UnknownError) Error() string {
+	return fmt.Sprintf("unknown workload %q (valid: %s; or %s<path> to replay a captured trace)",
+		e.Spec, strings.Join(e.Valid, " "), TracePrefix)
+}
+
+// Resolve turns a workload spec into a Source. A spec is either a builtin
+// Table 2 abbreviation ("HS") or a trace-file reference ("trace:<path>").
+// Trace files are decoded at resolve time — a missing, truncated or
+// version-mismatched file fails here with the trace package's typed errors —
+// and cached per path, so resolving the same trace across a sweep's points
+// decodes it once.
+func Resolve(spec string) (Source, error) {
+	if path, ok := strings.CutPrefix(spec, TracePrefix); ok {
+		t, err := loadTrace(path)
+		if err != nil {
+			return nil, err
+		}
+		return &traceSource{t: t}, nil
+	}
+	w, ok := ByAbbr(spec)
+	if !ok {
+		return nil, &UnknownError{Spec: spec, Valid: Abbrs()}
+	}
+	return builtinSource{w: w}, nil
+}
+
+// builtinSource adapts a registry Workload to the Source interface.
+type builtinSource struct{ w Workload }
+
+func (b builtinSource) Key() string { return b.w.Abbr }
+func (b builtinSource) Describe() string {
+	return fmt.Sprintf("%s (%s, %s)", b.w.Name, b.w.Abbr, b.w.Suite)
+}
+func (b builtinSource) Build(scale int) (*Instance, error) { return b.w.Build(scale) }
+
+// traceSource replays a captured trace: the Instance is rebuilt from the
+// trace's static sections (program shared, launch and memory fresh per
+// build), so concurrent replays from one Source never share mutable state.
+// There is no golden-output check — the capture's provenance is the trace
+// itself.
+type traceSource struct{ t *trace.Trace }
+
+func (s *traceSource) Key() string { return TracePrefix + s.t.Hash }
+
+func (s *traceSource) Describe() string {
+	m := s.t.Meta
+	label := m.Workload
+	if label == "" {
+		label = "unnamed capture"
+	}
+	desc := fmt.Sprintf("trace replay of %s", label)
+	if m.Arch != "" {
+		desc += " (captured on " + m.Arch + ")"
+	}
+	return desc
+}
+
+// Build materialises a replayable Instance. The captured launch is replayed
+// exactly, so scale is ignored — a trace is one concrete run, not a
+// parameterized generator.
+func (s *traceSource) Build(scale int) (*Instance, error) {
+	prog, err := s.t.Program()
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Prog:   prog,
+		Launch: s.t.Launch(),
+		Mem:    s.t.NewMemory(),
+	}, nil
+}
+
+// Trace exposes the decoded trace behind a trace-backed Source (nil for
+// builtins); callers use it for metadata like the content hash.
+func (s *traceSource) Trace() *trace.Trace { return s.t }
+
+// TraceOf returns the decoded trace behind src when src replays one.
+func TraceOf(src Source) (*trace.Trace, bool) {
+	ts, ok := src.(*traceSource)
+	if !ok {
+		return nil, false
+	}
+	return ts.t, true
+}
+
+// traceCache memoizes successful trace decodes per path. Failures are not
+// cached: a capture may legitimately appear at the path later (the atomic
+// writer renames the finished file into place).
+var traceCache = struct {
+	sync.Mutex
+	m map[string]*trace.Trace
+}{m: map[string]*trace.Trace{}}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	traceCache.Lock()
+	t, ok := traceCache.m[path]
+	traceCache.Unlock()
+	if ok {
+		return t, nil
+	}
+	t, err := trace.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	traceCache.Lock()
+	if prev, ok := traceCache.m[path]; ok {
+		t = prev // another goroutine won the decode race; share its Trace
+	} else {
+		traceCache.m[path] = t
+	}
+	traceCache.Unlock()
+	return t, nil
+}

@@ -2,10 +2,13 @@ package gscalar
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"gscalar/internal/gpu"
+	"gscalar/internal/kernel"
 	"gscalar/internal/telemetry"
+	"gscalar/internal/trace"
 	"gscalar/internal/workloads"
 )
 
@@ -51,8 +54,27 @@ type Session struct {
 	// A session with telemetry enabled must not run concurrently with
 	// itself (Metrics is overwritten per run).
 	Telemetry TelemetryOptions
+	// Capture configures trace capture: when Capture.Path is non-empty,
+	// every warp-instruction execution of the next single-launch run is
+	// recorded and — together with the program, launch configuration and
+	// initial memory image — written to that path as a replayable trace
+	// (replay with workload spec "trace:<path>"). Like Observer and
+	// Telemetry it lives off-Config: enabling capture changes neither the
+	// config hash nor any simulated result. Capture requires the serial
+	// chip loop (Workers == 0, EpochCycles == 0) so the recorded
+	// instruction order is deterministic, and is rejected for multi-launch
+	// sequences; a run that fails or is cancelled writes no trace.
+	Capture CaptureOptions
 
 	metrics *Metrics // telemetry of the most recently completed run
+}
+
+// CaptureOptions configures Session trace capture.
+type CaptureOptions struct {
+	// Path is the destination trace file; empty disables capture. The file
+	// is written atomically after a successful run (store.AtomicWrite), so
+	// an interrupted capture never leaves a truncated trace behind.
+	Path string
 }
 
 // NewSession normalizes and validates cfg and binds it to arch. It is the
@@ -113,6 +135,35 @@ func (s *Session) wrapErr(what string, err error) error {
 	return fmt.Errorf("gscalar: %s on %s: %w", what, s.arch, err)
 }
 
+// newCapture starts a trace capture for a single-launch run, or returns
+// (nil, nil) when capture is disabled. It must be called before simulation
+// starts: the initial memory image is snapshotted here.
+func (s *Session) newCapture(workload string, scale int, prog *kernel.Program, lc *kernel.LaunchConfig, mem *kernel.Memory) (*trace.Capture, error) {
+	if s.Capture.Path == "" {
+		return nil, nil
+	}
+	if s.cfg.Workers != 0 || s.cfg.EpochCycles > 0 {
+		return nil, fmt.Errorf("trace capture requires the serial chip loop (Workers=0, EpochCycles=0); got Workers=%d EpochCycles=%d", s.cfg.Workers, s.cfg.EpochCycles)
+	}
+	return trace.NewCapture(trace.Meta{
+		Workload:   workload,
+		Arch:       s.arch.String(),
+		Scale:      scale,
+		ConfigHash: s.cfg.Hash(),
+		WarpSize:   s.cfg.WarpSize,
+	}, prog, lc, mem), nil
+}
+
+// finishCapture writes the captured trace after a successful run. A failed
+// or cancelled run writes nothing — a trace must represent a complete
+// execution.
+func (s *Session) finishCapture(cap *trace.Capture, runErr error) error {
+	if cap == nil || runErr != nil {
+		return runErr
+	}
+	return cap.WriteFile(s.Capture.Path)
+}
+
 // Run simulates an assembled program. On cancellation the returned Result
 // holds the partial statistics accumulated so far (see Session).
 func (s *Session) Run(ctx context.Context, prog *Program, launch Launch, mem *Memory) (Result, error) {
@@ -120,49 +171,81 @@ func (s *Session) Run(ctx context.Context, prog *Program, launch Launch, mem *Me
 	if err != nil {
 		return Result{}, err
 	}
+	cap, err := s.newCapture(prog.Name(), 0, prog.p, lc, mem.m)
+	if err != nil {
+		return Result{}, s.wrapErr(prog.Name(), err)
+	}
 	g, rec := s.lower()
+	if cap != nil {
+		g.ExecTrace = cap.Record
+	}
 	r, err := gpu.RunContext(ctx, g, s.arch.model(), prog.p, lc, mem.m)
 	s.finishMetrics(rec, prog.Name())
+	err = s.finishCapture(cap, err)
 	return resultFrom(r), s.wrapErr(prog.Name(), err)
 }
 
-// RunWorkload builds Table 2 benchmark abbr at the given scale (1 = the
-// default size) and simulates it. The benchmark's functional output is
+// RunWorkload resolves a workload spec — a Table 2 abbreviation ("HS") or a
+// captured trace ("trace:<path>") — builds it at the given scale (1 = the
+// default size; trace replays ignore scale, they re-run the captured launch
+// exactly) and simulates it. A builtin benchmark's functional output is
 // validated against its host golden model; a validation failure is returned
 // as an error. A cancelled run skips that check — the output is necessarily
 // incomplete — and returns the partial Result with the cancellation error.
-func (s *Session) RunWorkload(ctx context.Context, abbr string, scale int) (Result, error) {
-	w, ok := workloads.ByAbbr(abbr)
-	if !ok {
-		return Result{}, errUnknownWorkload(abbr)
+func (s *Session) RunWorkload(ctx context.Context, spec string, scale int) (Result, error) {
+	src, err := resolveWorkload(spec)
+	if err != nil {
+		return Result{}, err
 	}
 	if scale < 1 {
 		scale = 1
 	}
-	inst, err := w.Build(scale)
+	inst, err := src.Build(scale)
 	if err != nil {
-		return Result{}, s.wrapErr(abbr, err)
+		return Result{}, s.wrapErr(spec, err)
 	}
-	res, err := s.runInstance(ctx, abbr, inst)
+	res, err := s.runInstance(ctx, spec, scale, inst)
 	if err != nil {
 		return res, err
 	}
 	if inst.Check != nil {
 		if err := inst.Check(); err != nil {
-			return Result{}, s.wrapErr(abbr, err)
+			return Result{}, s.wrapErr(spec, err)
 		}
 	}
 	return res, nil
 }
 
+// resolveWorkload maps a spec onto a workload source, translating the
+// internal unknown-name error onto the package's typed UnknownWorkloadError.
+func resolveWorkload(spec string) (workloads.Source, error) {
+	src, err := workloads.Resolve(spec)
+	if err != nil {
+		var unk *workloads.UnknownError
+		if errors.As(err, &unk) {
+			return nil, errUnknownWorkload(spec)
+		}
+		return nil, fmt.Errorf("gscalar: workload %s: %w", spec, err)
+	}
+	return src, nil
+}
+
 // runInstance executes a built workload instance on the timed simulator,
 // without the golden-output check (sweeps that deliberately skip it reuse
 // this path).
-func (s *Session) runInstance(ctx context.Context, abbr string, inst *workloads.Instance) (Result, error) {
+func (s *Session) runInstance(ctx context.Context, label string, scale int, inst *workloads.Instance) (Result, error) {
+	cap, err := s.newCapture(label, scale, inst.Prog, inst.Launch, inst.Mem)
+	if err != nil {
+		return Result{}, s.wrapErr(label, err)
+	}
 	g, rec := s.lower()
+	if cap != nil {
+		g.ExecTrace = cap.Record
+	}
 	r, err := gpu.RunContext(ctx, g, s.arch.model(), inst.Prog, inst.Launch, inst.Mem)
-	s.finishMetrics(rec, abbr)
-	return resultFrom(r), s.wrapErr(abbr, err)
+	s.finishMetrics(rec, label)
+	err = s.finishCapture(cap, err)
+	return resultFrom(r), s.wrapErr(label, err)
 }
 
 // RunSequence simulates a dependent sequence of kernel launches sharing the
@@ -171,6 +254,9 @@ func (s *Session) runInstance(ctx context.Context, abbr string, inst *workloads.
 // the whole sequence; a cancelled sequence returns the aggregate of every
 // completed launch plus the in-flight launch's partial prefix.
 func (s *Session) RunSequence(ctx context.Context, mem *Memory, seq []KernelLaunch) (Result, error) {
+	if s.Capture.Path != "" {
+		return Result{}, s.wrapErr("sequence", fmt.Errorf("trace capture covers exactly one kernel launch; it cannot record a multi-launch sequence"))
+	}
 	steps := make([]gpu.Step, 0, len(seq))
 	for _, kl := range seq {
 		lc, err := kl.Launch.toKernel()
@@ -194,16 +280,16 @@ func (s *Session) RunSequence(ctx context.Context, mem *Memory, seq []KernelLaun
 // capacity constant). Cancelling ctx aborts the sweep at the in-flight
 // point's next lifecycle checkpoint.
 func (s *Session) WarpSizeSweep(ctx context.Context, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
-	w, ok := workloads.ByAbbr(abbr)
-	if !ok {
-		return nil, errUnknownWorkload(abbr)
+	src, err := resolveWorkload(abbr)
+	if err != nil {
+		return nil, err
 	}
 	if scale < 1 {
 		scale = 1
 	}
 	out := make([]WarpSizeSweepResult, 0, len(warpSizes))
 	for _, ws := range warpSizes {
-		inst, err := w.Build(scale)
+		inst, err := src.Build(scale)
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +304,9 @@ func (s *Session) WarpSizeSweep(ctx context.Context, abbr string, warpSizes []in
 		p.Observer = s.Observer
 		p.ObserverStride = s.ObserverStride
 		p.Telemetry = s.Telemetry
-		r, err := p.runInstance(ctx, abbr, inst)
+		// Capture is deliberately not inherited: one trace file cannot hold
+		// a whole sweep of runs.
+		r, err := p.runInstance(ctx, abbr, scale, inst)
 		if err != nil {
 			return nil, fmt.Errorf("gscalar: warp-size sweep at %d: %w", ws, err)
 		}
