@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race skipdet valcancel relaxdet tracedet telemetry perfsmoke serve fmt fmtcheck bench bench-parallel bench-serve profile
+.PHONY: check build test vet race skipdet valcancel relaxdet tracedet telemetry gendet perfsmoke serve fmt fmtcheck bench bench-parallel bench-serve profile
 
-check: fmtcheck build test vet skipdet valcancel relaxdet tracedet telemetry perfsmoke serve race
+check: fmtcheck build test vet skipdet valcancel relaxdet tracedet telemetry gendet perfsmoke serve race
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,19 @@ bench:
 bench-parallel:
 	$(GO) test -bench ParallelSpeedup -benchtime 1x -run '^$$' .
 
+# Synthetic-generator gate: the gen-package unit tests (dial parsing and
+# typed errors, canonicalization round-trip, schema sanity, byte-identical
+# builds), the workload-spec grammar tests (ParseSpec + the FuzzParseSpec
+# seed corpus), and the root-level calibration suite — dial accuracy over
+# the ≥20-vector grid on both architectures, serial/phased agreement, and
+# the GOMAXPROCS determinism gate. The race pass is scaled down to the
+# cheap unit layers; the root race coverage comes from the `race` target's
+# -short pass.
+gendet:
+	$(GO) test ./internal/gen ./internal/workloads
+	$(GO) test -run 'TestGen' .
+	$(GO) test -race -short ./internal/gen ./internal/workloads
+
 # Perf smoke: fail fast when a workload blows a generous wall-clock ceiling
 # (order-of-magnitude simulator regressions, not benchmarking).
 perfsmoke:
@@ -104,7 +117,7 @@ perfsmoke:
 PROFILE_BENCH ?= LBM
 profile:
 	$(GO) build -o gscalar-sim.prof.bin ./cmd/gscalar-sim
-	./gscalar-sim.prof.bin -bench $(PROFILE_BENCH) \
+	./gscalar-sim.prof.bin -workload $(PROFILE_BENCH) \
 		-cpuprofile $(PROFILE_BENCH).cpu.pprof -memprofile $(PROFILE_BENCH).mem.pprof
 	$(GO) tool pprof -top -nodecount=10 gscalar-sim.prof.bin $(PROFILE_BENCH).cpu.pprof
 	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space \

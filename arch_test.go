@@ -1,6 +1,9 @@
 package gscalar
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestArchSemantics pins what each public architecture is allowed to
 // detect: compression-only modes report no scalar eligibility, the prior
@@ -15,7 +18,7 @@ func TestArchSemantics(t *testing.T) {
 
 	res := map[Arch]Result{}
 	for _, a := range AllArchs() {
-		r, err := RunWorkload(cfg, a, bench, 1)
+		r, err := RunWorkloadContext(context.Background(), cfg, a, bench, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -25,7 +25,8 @@
 // execution trace (<arch>_<workload>.gstr, written atomically on success;
 // serial loop only). A captured trace replays through gscalar-sim
 // -workload trace:<file> — or back through this command, since -bench
-// accepts trace:<path> specs alongside benchmark abbreviations.
+// accepts trace:<path> and gen:<dials> specs alongside benchmark
+// abbreviations (a gen spec's own commas are kept with it).
 package main
 
 import (
@@ -43,13 +44,14 @@ import (
 	"gscalar/internal/experiments"
 	"gscalar/internal/hostprof"
 	"gscalar/internal/store"
+	"gscalar/internal/workloads"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig8, fig9, fig10, fig11, fig12, table1, table2, table3, moves, compiler, half, scalarbank, width, sched)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	sms := flag.Int("sms", 0, "override number of SMs (0 = Table 1 value)")
-	bench := flag.String("bench", "", "comma-separated workload subset: abbreviations and/or trace:<path> specs (default: all)")
+	bench := flag.String("bench", "", "comma-separated workload subset: abbreviations, trace:<path> and/or gen:<dials> specs (default: all)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	metricsOut := flag.String("metrics-out", "", "write per-point telemetry (counters + time series) into this directory")
 	metricsFormat := flag.String("metrics-format", "json", "telemetry file format: json or csv")
@@ -134,7 +136,7 @@ func main() {
 
 	opts := experiments.Options{Config: cfg, Scale: *scale, CaptureDir: *traceOut}
 	if *bench != "" {
-		opts.Workloads = strings.Split(*bench, ",")
+		opts.Workloads = workloads.SplitList(*bench)
 	}
 	if *metricsOut != "" || *chromeTrace != "" {
 		sink, err := newMetricsSink(*metricsOut, *metricsFormat, *chromeTrace)

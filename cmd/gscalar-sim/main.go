@@ -2,7 +2,9 @@
 // the detailed simulation result: cycles, IPC, power and its component
 // shares, scalar-eligibility decomposition, RF access classes, and
 // compression statistics. A workload is either a Table 2 benchmark
-// abbreviation or a captured execution trace ("trace:<path>").
+// abbreviation, a captured execution trace ("trace:<path>"), or a calibrated
+// synthetic kernel ("gen:div=0.3,sfu=0.2,..."; -list-workloads prints the
+// dial schema).
 //
 // The chip configuration can be loaded from a JSON file (-config); flags
 // given explicitly on the command line override the file. -dump-config
@@ -40,18 +42,20 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"gscalar"
+	"gscalar/internal/gen"
 	"gscalar/internal/hostprof"
 	"gscalar/internal/store"
 )
 
 func main() {
 	var workload string
-	flag.StringVar(&workload, "workload", "", "workload spec: a benchmark abbreviation or trace:<path> (see -list-workloads)")
-	flag.StringVar(&workload, "bench", "", "alias of -workload")
+	flag.StringVar(&workload, "workload", "", "workload spec: a benchmark abbreviation, trace:<path>, or gen:<dials> (see -list-workloads)")
+	flag.StringVar(&workload, "bench", "", "deprecated alias of -workload")
 	archName := flag.String("arch", "gscalar", "architecture: "+strings.Join(gscalar.ArchNames(), ", "))
 	scale := flag.Int("scale", 1, "workload scale factor")
 	sms := flag.Int("sms", 0, "override number of SMs")
@@ -77,6 +81,12 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to this file")
 	flag.Parse()
 
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "bench" {
+			fmt.Fprintln(os.Stderr, "gscalar-sim: -bench is deprecated, use -workload")
+		}
+	})
+
 	if *metricsFormat != "json" && *metricsFormat != "csv" {
 		fmt.Fprintf(os.Stderr, "gscalar-sim: unknown -metrics-format %q (want json or csv)\n", *metricsFormat)
 		os.Exit(1)
@@ -99,6 +109,17 @@ func main() {
 			fmt.Printf("%-4s %-11s %-8s %s\n", w.Abbr, w.Name, w.Suite, w.Desc)
 		}
 		fmt.Println("\ntrace:<path>  replay an execution trace captured with -trace-out")
+		fmt.Println("gen:<dials>   calibrated synthetic kernel; dials (name=value, comma-separated):")
+		for _, d := range gen.Schema() {
+			ff := func(v float64) string {
+				if d.Type == "int" {
+					return strconv.FormatFloat(v, 'f', -1, 64)
+				}
+				return strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			fmt.Printf("  %-5s %-6s [%s, %s] default %-4s %s\n",
+				d.Name, d.Type, ff(d.Min), ff(d.Max), ff(d.Default), d.Desc)
+		}
 		return
 	}
 

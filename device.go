@@ -1,7 +1,6 @@
 package gscalar
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -101,17 +100,6 @@ type KernelLaunch struct {
 	Launch Launch
 }
 
-// RunSequence simulates a dependent sequence of kernel launches sharing the
-// given device memory (serialised by an implicit device barrier, as CUDA
-// streams would for dependent kernels) with a background context.
-//
-// Deprecated: construct a Session with NewSession and call
-// Session.RunSequence, which adds cancellation, progress observation, and
-// telemetry; this wrapper delegates to the same path (see runVia).
-func RunSequence(cfg Config, arch Arch, mem *Memory, seq []KernelLaunch) (Result, error) {
-	return RunSequenceContext(context.Background(), cfg, arch, mem, seq)
-}
-
 // ProfileKernel runs the launch on the functional profiler and returns an
 // annotated listing: per-instruction execution counts, average active
 // lanes, divergence and value-uniformity fractions, and the compile-time
@@ -157,29 +145,17 @@ func WorkloadByAbbr(abbr string) (WorkloadInfo, bool) {
 	return WorkloadInfo{Abbr: w.Abbr, Name: w.Name, Suite: w.Suite, Desc: w.Desc}, true
 }
 
-// RunWorkload builds Table 2 benchmark abbr at the given scale (1 = the
-// default size) and simulates it under arch, with a background context. The
-// benchmark's functional output is validated against its host golden model;
-// a validation failure is returned as an error.
-//
-// Deprecated: construct a Session with NewSession and call
-// Session.RunWorkload, which adds cancellation, progress observation, and
-// telemetry; this wrapper delegates to the same path (see runVia).
-func RunWorkload(cfg Config, arch Arch, abbr string, scale int) (Result, error) {
-	return RunWorkloadContext(context.Background(), cfg, arch, abbr, scale)
-}
-
 func errUnknownWorkload(abbr string) error {
 	return &UnknownWorkloadError{Abbr: abbr}
 }
 
 // UnknownWorkloadError is returned for a workload spec that names neither a
-// Table 2 benchmark nor a trace file.
+// Table 2 benchmark nor a trace file nor a generated kernel.
 type UnknownWorkloadError struct{ Abbr string }
 
 func (e *UnknownWorkloadError) Error() string {
-	return fmt.Sprintf("gscalar: unknown workload %q (valid: %s; or %s<path> to replay a captured trace)",
-		e.Abbr, strings.Join(workloads.Abbrs(), " "), workloads.TracePrefix)
+	return fmt.Sprintf("gscalar: unknown workload %q (valid: %s; or %s<path> to replay a captured trace; or %s<dials> for a synthetic kernel)",
+		e.Abbr, strings.Join(workloads.Abbrs(), " "), workloads.TracePrefix, workloads.GenPrefix)
 }
 
 // CanonicalWorkloadKey resolves a workload spec — a Table 2 abbreviation or

@@ -21,8 +21,12 @@
 // architecture) pair once and carries the run-scoped options — progress
 // observation (Observer), metric collection (Telemetry, exported through
 // Metrics as JSON, CSV, or a Chrome trace), and context cancellation. The
-// context-less free functions (Run, RunWorkload, RunSequence, ...) are
-// deprecated shims over the same path.
+// RunContext / RunWorkloadContext / RunSequenceContext free functions wrap
+// a one-shot Session over the same path.
+//
+// Workload specs accept three forms everywhere a workload is named: a
+// Table 2 builtin abbreviation ("BP"), a captured trace ("trace:<path>"),
+// or a calibrated synthetic kernel ("gen:div=0.3,sfu=0.2,...").
 //
 // Custom kernels are written in .gasm assembly (see package documentation
 // of internal/asm for the grammar) and run via Assemble / NewMemory /
@@ -30,11 +34,11 @@
 package gscalar
 
 import (
-	"context"
 	"fmt"
 
 	"gscalar/internal/core"
 	"gscalar/internal/gpu"
+	"gscalar/internal/isa"
 	"gscalar/internal/kernel"
 	"gscalar/internal/power"
 	"gscalar/internal/sm"
@@ -236,6 +240,17 @@ type Eligibility struct {
 // Total returns the overall scalar-eligible fraction.
 func (e Eligibility) Total() float64 { return e.ALU + e.SFU + e.Mem + e.Half + e.Divergent }
 
+// InstMix is the committed warp-instruction class mix: what fraction of
+// instructions executed on each pipeline. Drives the SFU-share and
+// memory-intensity calibration of generated workloads and the figure
+// inputs that bucket instructions by class.
+type InstMix struct {
+	ALU  float64 `json:"alu"`
+	SFU  float64 `json:"sfu"`
+	Mem  float64 `json:"mem"`
+	Ctrl float64 `json:"ctrl"`
+}
+
 // RFAccessDist is the Figure 8 register-file read-class distribution.
 type RFAccessDist struct {
 	Scalar    float64 `json:"scalar"`
@@ -267,6 +282,7 @@ type Result struct {
 	FracDivergentScalar float64      `json:"frac_divergent_scalar"` // Figure 1: value-uniform divergent / total
 	Eligibility         Eligibility  `json:"eligibility"`
 	RFAccess            RFAccessDist `json:"rf_access"`
+	InstMix             InstMix      `json:"inst_mix"`
 	CompressionRatio    float64      `json:"compression_ratio"`
 	MoveOverhead        float64      `json:"move_overhead"` // §3.3 injected decompress moves / total
 
@@ -328,6 +344,12 @@ func resultFrom(r gpu.Result) Result {
 			None:      st.RFReadFrac(core.AccessNone),
 			Divergent: st.RFReadFrac(core.AccessDivergent),
 		},
+		InstMix: InstMix{
+			ALU:  float64(st.ByClass[isa.ClassALU]) / total,
+			SFU:  float64(st.ByClass[isa.ClassSFU]) / total,
+			Mem:  float64(st.ByClass[isa.ClassMem]) / total,
+			Ctrl: float64(st.ByClass[isa.ClassCtrl]) / total,
+		},
 		CompressionRatio: st.CompressionRatio(),
 		MoveOverhead:     st.MoveOverhead(),
 		DRAMTransactions: st.DRAMTransactions,
@@ -342,15 +364,6 @@ func resultFrom(r gpu.Result) Result {
 		out.PowerByComponent[c.String()] = r.Power.PerComp[c]
 	}
 	return out
-}
-
-// Run simulates an assembled program under arch with a background context.
-//
-// Deprecated: construct a Session with NewSession and call Session.Run,
-// which adds cancellation, progress observation, and telemetry; this
-// wrapper delegates to the same path (see runVia).
-func Run(cfg Config, arch Arch, prog *Program, launch Launch, mem *Memory) (Result, error) {
-	return RunContext(context.Background(), cfg, arch, prog, launch, mem)
 }
 
 // kernelLaunch adapts Launch to the internal type.

@@ -1,0 +1,241 @@
+package gen
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestParseDialsErrors pins the typed per-parameter errors: every bad spec
+// fails with a *DialError naming the offending dial (or cross-dial
+// constraint), so callers can echo the schema entry back to the user.
+func TestParseDialsErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		dial string
+	}{
+		{"foo=1", "foo"},                 // unknown dial
+		{"div=0.1,div=0.2", "div"},       // duplicate
+		{"div", "div"},                   // missing value
+		{"div=", "div"},                  // empty value
+		{"=0.3", ""},                     // empty name
+		{"div=abc", "div"},               // not a number
+		{"div=NaN", "div"},               // NaN is out of every range
+		{"div=0.7", "div"},               // above max
+		{"occ=0", "occ"},                 // below min
+		{"occ=-1", "occ"},                // negative
+		{"seed=-1", "seed"},              // seed must be unsigned
+		{"seed=5000000000", "seed"},      // above 32 bits
+		{"seed=1.5", "seed"},             // seed must be an integer
+		{"sfu=0.4,mem=0.4", "sfu+mem"},   // cross-dial: slot budget
+		{"rs=0.6,r3=0.4", "rs+r3+r2+r1"}, // cross-dial: read-mix headroom
+	}
+	for _, c := range cases {
+		_, err := ParseDials(c.in)
+		if err == nil {
+			t.Errorf("ParseDials(%q): expected error", c.in)
+			continue
+		}
+		var de *DialError
+		if !errors.As(err, &de) {
+			t.Errorf("ParseDials(%q): error %T is not *DialError", c.in, err)
+			continue
+		}
+		if de.Dial != c.dial {
+			t.Errorf("ParseDials(%q): DialError.Dial = %q, want %q", c.in, de.Dial, c.dial)
+		}
+	}
+}
+
+func TestParseDialsDefaults(t *testing.T) {
+	for _, in := range []string{"", "   "} {
+		p, err := ParseDials(in)
+		if err != nil {
+			t.Fatalf("ParseDials(%q): %v", in, err)
+		}
+		if p != Defaults() {
+			t.Errorf("ParseDials(%q) = %+v, want Defaults()", in, p)
+		}
+	}
+	if got := Defaults().Canonical(); got != "" {
+		t.Errorf("Defaults().Canonical() = %q, want empty", got)
+	}
+}
+
+// TestCanonicalRoundTrip holds Canonical's contract: parsing the canonical
+// form reproduces the params, canonicalizing is idempotent, and dials
+// spelled at their default value vanish from the canonical string.
+func TestCanonicalRoundTrip(t *testing.T) {
+	specs := []string{
+		"div=0.3,sfu=0.2,mem=0.3,coal=0.5",
+		"seed=42",
+		"rs=0.1,r3=0.05,r2=0.2,r1=0.1,occ=0.25",
+		"div=0,sfu=0.05,mem=0.1,coal=1", // all-default spelling
+		"mem=0.30,  sfu = 0.10",         // whitespace + trailing zeros
+		"occ=0.125,seed=4294967295,div=0.6",
+	}
+	for _, s := range specs {
+		p, err := ParseDials(s)
+		if err != nil {
+			t.Fatalf("ParseDials(%q): %v", s, err)
+		}
+		canon := p.Canonical()
+		p2, err := ParseDials(canon)
+		if err != nil {
+			t.Fatalf("ParseDials(Canonical(%q) = %q): %v", s, canon, err)
+		}
+		if p2 != p {
+			t.Errorf("round trip of %q via %q: %+v != %+v", s, canon, p2, p)
+		}
+		if c2 := p2.Canonical(); c2 != canon {
+			t.Errorf("Canonical not idempotent for %q: %q then %q", s, canon, c2)
+		}
+	}
+	if p, _ := ParseDials("div=0,sfu=0.05,mem=0.1,coal=1"); p.Canonical() != "" {
+		t.Errorf("explicit defaults canonicalize to %q, want empty", p.Canonical())
+	}
+}
+
+// TestSchemaSanity holds the machine-readable dial schema together: sorted
+// unique names, sane ranges, and defaults that agree with Defaults().
+func TestSchemaSanity(t *testing.T) {
+	sch := Schema()
+	names := make([]string, len(sch))
+	for i, d := range sch {
+		names[i] = d.Name
+		if d.Type != "float" && d.Type != "int" {
+			t.Errorf("dial %s: type %q", d.Name, d.Type)
+		}
+		if !(d.Min <= d.Default && d.Default <= d.Max) {
+			t.Errorf("dial %s: default %g outside [%g, %g]", d.Name, d.Default, d.Min, d.Max)
+		}
+		if d.Desc == "" {
+			t.Errorf("dial %s: empty description", d.Name)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("schema not name-sorted: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			t.Errorf("duplicate dial %q", names[i])
+		}
+	}
+	// Every schema dial must parse.
+	for _, d := range sch {
+		if _, err := ParseDials(d.Name + "=" + "0.05"); d.Name != "seed" && err != nil {
+			t.Errorf("dial %s rejects an in-range value: %v", d.Name, err)
+		}
+	}
+}
+
+// TestRenderDeterminism: Render is a pure function of Params — equal dials
+// yield byte-identical text; a different seed yields a different kernel.
+func TestRenderDeterminism(t *testing.T) {
+	p, err := ParseDials("div=0.3,sfu=0.2,mem=0.25,coal=0.5,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Render(p), Render(p)
+	if a != b {
+		t.Fatal("Render not deterministic for equal Params")
+	}
+	p2 := p
+	p2.Seed = 8
+	if Render(p2) == a {
+		t.Error("different seeds rendered identical kernels")
+	}
+	if !strings.Contains(a, ".kernel gensyn") {
+		t.Errorf("render missing kernel header:\n%s", a)
+	}
+}
+
+// TestBuildDeterminism: Build is pure in (Params, scale) — repeated builds
+// produce byte-identical memory snapshots and equal launch shapes.
+func TestBuildDeterminism(t *testing.T) {
+	p, err := ParseDials("div=0.2,mem=0.3,coal=0.25,occ=0.2,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lc1, m1, err := Build(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lc2, m2, err := Build(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *lc1 != *lc2 {
+		t.Fatalf("launch configs differ: %+v vs %+v", lc1, lc2)
+	}
+	n1, pg1 := m1.Snapshot()
+	n2, pg2 := m2.Snapshot()
+	if n1 != n2 || len(pg1) != len(pg2) {
+		t.Fatalf("snapshots differ in shape: next %d/%d, pages %d/%d", n1, n2, len(pg1), len(pg2))
+	}
+	for i := range pg1 {
+		if pg1[i].ID != pg2[i].ID || !bytes.Equal(pg1[i].Data, pg2[i].Data) {
+			t.Fatalf("memory page %d differs between builds", pg1[i].ID)
+		}
+	}
+}
+
+// TestBuildScaleAndOcc: occupancy scales the grid, scale multiplies it.
+func TestBuildScaleAndOcc(t *testing.T) {
+	p := Defaults()
+	p.Occ = 0.5
+	_, lc, _, err := Build(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Grid.X != 30 {
+		t.Errorf("occ=0.5 grid = %d CTAs, want 30", lc.Grid.X)
+	}
+	_, lc2, _, err := Build(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc2.Grid.X != 90 {
+		t.Errorf("occ=0.5 scale=3 grid = %d CTAs, want 90", lc2.Grid.X)
+	}
+	if lc.Block.X != ctaThreads {
+		t.Errorf("block = %d, want %d", lc.Block.X, ctaThreads)
+	}
+}
+
+// TestBuildRejectsInvalid: Build revalidates, so a hand-constructed
+// out-of-range Params cannot reach the solver.
+func TestBuildRejectsInvalid(t *testing.T) {
+	p := Defaults()
+	p.Div = 0.9
+	if _, _, _, err := Build(p, 1); err == nil {
+		t.Fatal("expected validation error")
+	}
+	var de *DialError
+	p2 := Defaults()
+	p2.SFU, p2.Mem = 0.4, 0.4
+	_, _, _, err := Build(p2, 1)
+	if !errors.As(err, &de) || de.Dial != "sfu+mem" {
+		t.Fatalf("err = %v, want sfu+mem DialError", err)
+	}
+}
+
+// TestScatterWindows: every warp-sized window of the scattered address map
+// lands in the 1-shared-MSB class the r1 dial models.
+func TestScatterWindows(t *testing.T) {
+	p := Defaults()
+	p.Coal, p.Occ, p.Seed = 0, 0.2, 99
+	_, lc, m, err := Build(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := lc.Grid.X * lc.Block.X
+	scat := m.ReadU32(lc.Params[1], threads)
+	for w := 0; w+32 <= len(scat); w += 32 {
+		if got := sharedMSBs(scat[w : w+32]); got != 1 {
+			t.Fatalf("warp window at %d shares %d MSBs, want 1", w, got)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadsGeneratorSchema: the catalog advertises the synthetic
+// generator — prefix, syntax and the full dial schema — so clients can
+// build gen sweeps without hardcoding dial names or ranges.
+func TestWorkloadsGeneratorSchema(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), Options{Workers: 1})
+	var v struct {
+		Generator struct {
+			Prefix string `json:"prefix"`
+			Syntax string `json:"syntax"`
+			Dials  []struct {
+				Name string  `json:"name"`
+				Type string  `json:"type"`
+				Min  float64 `json:"min"`
+				Max  float64 `json:"max"`
+				Desc string  `json:"description"`
+			} `json:"dials"`
+		} `json:"generator"`
+	}
+	if resp := getJSON(t, ts.URL+"/api/v1/workloads", &v); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	g := v.Generator
+	if g.Prefix != "gen:" {
+		t.Errorf("generator prefix = %q", g.Prefix)
+	}
+	if len(g.Dials) < 8 {
+		t.Fatalf("generator schema has %d dials", len(g.Dials))
+	}
+	seen := map[string]bool{}
+	for _, d := range g.Dials {
+		seen[d.Name] = true
+		if d.Desc == "" || (d.Type != "float" && d.Type != "int") {
+			t.Errorf("dial %+v incomplete", d)
+		}
+	}
+	for _, want := range []string{"div", "sfu", "mem", "coal", "rs", "r3", "occ", "seed"} {
+		if !seen[want] {
+			t.Errorf("schema missing dial %q", want)
+		}
+	}
+}
+
+// TestSubmitBadGenDialEchoesSchema: an out-of-range dial is rejected with
+// 400 and the response embeds the generator schema next to the error, so a
+// client can repair the spec without a second round trip.
+func TestSubmitBadGenDialEchoesSchema(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), Options{Workers: 1})
+	for _, spec := range []string{"gen:div=2", "gen:bogus=1", "gen:sfu=0.4,mem=0.4"} {
+		resp, body := postJSON(t, ts.URL+"/api/v1/jobs",
+			map[string]any{"arch": "gscalar", "workload": spec})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, body %s", spec, resp.StatusCode, body)
+		}
+		s := string(body)
+		if !strings.Contains(s, "gen dial") {
+			t.Errorf("%s: error %s lacks the dial error", spec, s)
+		}
+		if !strings.Contains(s, `"generator"`) || !strings.Contains(s, `"dials"`) {
+			t.Errorf("%s: response %s does not echo the generator schema", spec, s)
+		}
+	}
+	// Non-gen submit errors stay schema-free.
+	resp, body := postJSON(t, ts.URL+"/api/v1/jobs",
+		map[string]any{"arch": "gscalar", "workload": "XX"})
+	if resp.StatusCode != http.StatusBadRequest || strings.Contains(string(body), `"dials"`) {
+		t.Errorf("unknown builtin: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestGenWorkloadStoreCached: a gen point simulates once and is then served
+// from the content-addressed store — including under a different spelling
+// of the same dial vector, since the store key is the canonical spec.
+func TestGenWorkloadStoreCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	s, ts := newTestServer(t, t.TempDir(), Options{Workers: 2})
+	req := map[string]any{
+		"config": tinyConfig(), "arch": "gscalar",
+		"workload": "gen:div=0.30,occ=0.05,seed=3",
+	}
+	id1 := submit(t, ts.URL, req)
+	waitState(t, ts.URL, id1, "done")
+	st1 := s.Stats()
+	if st1.Simulations != 1 {
+		t.Fatalf("first job: %d simulations, want 1", st1.Simulations)
+	}
+	r1 := getResults(t, ts.URL, id1)
+
+	// Same dials, different spelling: zero new simulations.
+	req["workload"] = "gen:seed=3,occ=0.05,div=0.3,sfu=0.05"
+	id2 := submit(t, ts.URL, req)
+	waitState(t, ts.URL, id2, "done")
+	st2 := s.Stats()
+	if st2.Simulations != st1.Simulations {
+		t.Errorf("resubmission simulated again: %d -> %d", st1.Simulations, st2.Simulations)
+	}
+	if st2.StoreHits == st1.StoreHits {
+		t.Errorf("resubmission did not hit the store (hits %d)", st2.StoreHits)
+	}
+	r2 := getResults(t, ts.URL, id2)
+	if len(r1.Results) != 1 || len(r2.Results) != 1 {
+		t.Fatalf("results: %d and %d points", len(r1.Results), len(r2.Results))
+	}
+	if string(r1.Results[0].Result) != string(r2.Results[0].Result) {
+		t.Errorf("store-served result bytes differ from the original")
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net/http"
 
 	"gscalar"
+	"gscalar/internal/gen"
+	"gscalar/internal/workloads"
 )
 
 // Handler returns the server's HTTP API:
@@ -17,7 +19,7 @@ import (
 //	GET  /api/v1/jobs/{id}/result  completed Results (byte-identical store bytes)
 //	GET  /api/v1/jobs/{id}/metrics stored telemetry blobs of completed points
 //	POST /api/v1/jobs/{id}/cancel  cancel queued and running points
-//	GET  /api/v1/workloads         workload catalog (builtins + trace-spec syntax)
+//	GET  /api/v1/workloads         workload catalog (builtins + trace/gen spec syntax)
 //	GET  /api/v1/stats             server counters
 //	GET  /healthz                  liveness
 func (s *Server) Handler() http.Handler {
@@ -60,6 +62,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	specs, err := req.grid()
 	if err != nil {
+		// A bad generator dial gets the dial schema echoed alongside the
+		// error, so a client can repair the spec without a second request.
+		var de *gen.DialError
+		if errors.As(err, &de) {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":     err.Error(),
+				"generator": generatorView(),
+			})
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -332,8 +344,9 @@ type workloadView struct {
 }
 
 // handleWorkloads serves the workload catalog: every builtin benchmark in
-// Table 2 order, plus the spec syntax for trace replays, so clients can
-// discover valid "workload" values before submitting.
+// Table 2 order, the spec syntax for trace replays, and the synthetic
+// generator's dial schema, so clients can discover valid "workload" values
+// before submitting.
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	abbrs := gscalar.Workloads()
 	views := make([]workloadView, 0, len(abbrs))
@@ -347,7 +360,20 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"workloads":  views,
 		"trace_spec": "trace:<path> — replay a trace captured with gscalar-sim -trace-out (the path must be readable by the server)",
+		"generator":  generatorView(),
 	})
+}
+
+// generatorView is the machine-readable description of the "gen:" workload
+// form: the spec prefix plus the dial schema (name, type, range, default,
+// description per dial). It is served in the workload catalog and echoed in
+// submit errors caused by out-of-range dials.
+func generatorView() map[string]any {
+	return map[string]any{
+		"prefix": workloads.GenPrefix,
+		"syntax": workloads.GenPrefix + "name=value,name=value,... (omitted dials take their defaults)",
+		"dials":  gen.Schema(),
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -2,6 +2,7 @@ package sm
 
 import (
 	"gscalar/internal/core"
+	"gscalar/internal/isa"
 	"gscalar/internal/telemetry"
 )
 
@@ -25,6 +26,10 @@ func (s *SM) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.Counter("sm.injected_moves", id, &st.InjectedMoves)
 	reg.Counter("sm.moves_elided", id, &st.MovesElided)
 	reg.Counter("sm.divergent", id, &st.Divergent)
+	reg.Counter("sm.class_alu", id, &st.ByClass[isa.ClassALU])
+	reg.Counter("sm.class_sfu", id, &st.ByClass[isa.ClassSFU])
+	reg.Counter("sm.class_mem", id, &st.ByClass[isa.ClassMem])
+	reg.Counter("sm.class_ctrl", id, &st.ByClass[isa.ClassCtrl])
 	reg.Counter("sm.elig_full_alu", id, &st.EligFullALU)
 	reg.Counter("sm.elig_full_sfu", id, &st.EligFullSFU)
 	reg.Counter("sm.elig_full_mem", id, &st.EligFullMem)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"gscalar/internal/gen"
 	"gscalar/internal/trace"
 )
 
@@ -30,32 +31,41 @@ type Source interface {
 const TracePrefix = "trace:"
 
 // UnknownError reports a workload spec that names neither a builtin
-// benchmark nor a trace file.
+// benchmark nor a trace file nor a generated kernel.
 type UnknownError struct {
 	Spec  string
 	Valid []string // builtin abbreviations, Table 2 order
 }
 
 func (e *UnknownError) Error() string {
-	return fmt.Sprintf("unknown workload %q (valid: %s; or %s<path> to replay a captured trace)",
-		e.Spec, strings.Join(e.Valid, " "), TracePrefix)
+	return fmt.Sprintf("unknown workload %q (valid: %s; or %s<path> to replay a captured trace; or %s<dials> for a synthetic kernel)",
+		e.Spec, strings.Join(e.Valid, " "), TracePrefix, GenPrefix)
 }
 
-// Resolve turns a workload spec into a Source. A spec is either a builtin
-// Table 2 abbreviation ("HS") or a trace-file reference ("trace:<path>").
+// Resolve turns a workload spec into a Source. The grammar is ParseSpec's:
+// a builtin Table 2 abbreviation ("HS"), a trace-file reference
+// ("trace:<path>"), or a generated synthetic kernel ("gen:div=0.3,...").
 // Trace files are decoded at resolve time — a missing, truncated or
 // version-mismatched file fails here with the trace package's typed errors —
 // and cached per path, so resolving the same trace across a sweep's points
-// decodes it once.
+// decodes it once. Gen dial errors (*gen.DialError) also surface here, so
+// a bad spec fails before any simulation is attempted.
 func Resolve(spec string) (Source, error) {
-	if path, ok := strings.CutPrefix(spec, TracePrefix); ok {
-		t, err := loadTrace(path)
+	ps, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch ps.Kind {
+	case SpecTrace:
+		t, err := loadTrace(ps.Path)
 		if err != nil {
 			return nil, err
 		}
 		return &traceSource{t: t}, nil
+	case SpecGen:
+		return &genSource{p: ps.Gen}, nil
 	}
-	w, ok := ByAbbr(spec)
+	w, ok := ByAbbr(ps.Abbr)
 	if !ok {
 		return nil, &UnknownError{Spec: spec, Valid: Abbrs()}
 	}
@@ -106,6 +116,36 @@ func (s *traceSource) Build(scale int) (*Instance, error) {
 		Launch: s.t.Launch(),
 		Mem:    s.t.NewMemory(),
 	}, nil
+}
+
+// genSource materialises synthetic kernels from a parsed dial vector.
+// The Key is the canonical "gen:" spec — two spellings of the same dials
+// share it — and every Build renders, assembles and fills memory afresh
+// (deterministically), so concurrent builds never share mutable state.
+type genSource struct{ p gen.Params }
+
+func (g *genSource) Key() string      { return GenPrefix + g.p.Canonical() }
+func (g *genSource) Describe() string { return g.p.Describe() }
+
+// Build renders the synthetic kernel. There is no golden-output check:
+// the workload's contract is its measured dynamic properties (held by the
+// gendet property suite), not a functional result.
+func (g *genSource) Build(scale int) (*Instance, error) {
+	prog, lc, mem, err := gen.Build(g.p, scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Prog: prog, Launch: lc, Mem: mem}, nil
+}
+
+// GenParamsOf returns the dial vector behind src when it is a generated
+// workload.
+func GenParamsOf(src Source) (gen.Params, bool) {
+	gs, ok := src.(*genSource)
+	if !ok {
+		return gen.Params{}, false
+	}
+	return gs.p, true
 }
 
 // Trace exposes the decoded trace behind a trace-backed Source (nil for

@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"gscalar/internal/gen"
+)
+
+// SpecKind says which branch of the workload-spec grammar a spec took.
+type SpecKind uint8
+
+const (
+	SpecBuiltin SpecKind = iota // a Table 2 abbreviation ("HS")
+	SpecTrace                   // "trace:<path>" — replay a captured trace
+	SpecGen                     // "gen:<dials>" — synthetic generated kernel
+)
+
+func (k SpecKind) String() string {
+	switch k {
+	case SpecTrace:
+		return "trace"
+	case SpecGen:
+		return "gen"
+	}
+	return "builtin"
+}
+
+// GenPrefix marks a workload spec as a generated synthetic kernel:
+// "gen:div=0.3,sfu=0.15,..." (see internal/gen for the dial schema).
+const GenPrefix = "gen:"
+
+// Spec is a parsed workload spec — the single grammar shared by every
+// layer that accepts a workload string (Session, the experiment suite,
+// the serve submit API, both CLIs). Exactly one of Abbr / Path / Gen is
+// meaningful, selected by Kind.
+type Spec struct {
+	Kind SpecKind
+	Abbr string     // SpecBuiltin: the (not yet registry-checked) name
+	Path string     // SpecTrace: trace file path
+	Gen  gen.Params // SpecGen: parsed, validated dial vector
+}
+
+// ParseSpec parses a workload spec string. It is the only spec parser:
+// Resolve, canonical workload keys, and serve submission validation are
+// all built on it.
+//
+// Grammar:
+//
+//	spec    = builtin | trace | gen
+//	builtin = <Table 2 abbreviation>          (registry-checked by Resolve)
+//	trace   = "trace:" path
+//	gen     = "gen:" [dial ("," dial)*]       dial = name "=" value
+//
+// Gen dials are validated here — unknown names, malformed or out-of-range
+// values and cross-dial constraint violations fail with a typed
+// *gen.DialError identifying the parameter. Builtin names are checked
+// against the registry at Resolve time so the error can list what is
+// valid.
+func ParseSpec(spec string) (Spec, error) {
+	switch {
+	case strings.HasPrefix(spec, TracePrefix):
+		return Spec{Kind: SpecTrace, Path: spec[len(TracePrefix):]}, nil
+	case strings.HasPrefix(spec, GenPrefix):
+		p, err := gen.ParseDials(spec[len(GenPrefix):])
+		if err != nil {
+			return Spec{}, fmt.Errorf("workload spec %q: %w", spec, err)
+		}
+		return Spec{Kind: SpecGen, Gen: p}, nil
+	}
+	return Spec{Kind: SpecBuiltin, Abbr: spec}, nil
+}
+
+// Canonical renders the spec in canonical form: parse(canonical(s)) is a
+// fixed point. Builtin and trace specs are identity (a trace's content
+// canonicalization — the file hash — happens at Source.Key, after the
+// file is read); gen specs normalize the dial list (defaults dropped,
+// name-sorted, shortest number formatting), so every spelling of the same
+// dial vector shares one canonical string and therefore one cache key.
+func (s Spec) Canonical() string {
+	switch s.Kind {
+	case SpecTrace:
+		return TracePrefix + s.Path
+	case SpecGen:
+		return GenPrefix + s.Gen.Canonical()
+	}
+	return s.Abbr
+}
+
+// String returns the canonical form.
+func (s Spec) String() string { return s.Canonical() }
+
+// SplitList splits a comma-separated list of workload specs, keeping
+// gen specs — whose dial lists themselves contain commas — intact:
+// "HS,gen:div=0.3,occ=0.2,LBM" is three specs, not four. After a "gen:"
+// element, a token of the form name=value continues that element's dial
+// list; anything else (an abbreviation, a trace:<path>, another gen:)
+// starts the next spec. Empty tokens between separators are dropped.
+func SplitList(s string) []string {
+	var specs []string
+	inGen := false
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if inGen && isDialToken(tok) {
+			specs[len(specs)-1] += "," + tok
+			continue
+		}
+		specs = append(specs, tok)
+		inGen = strings.HasPrefix(tok, GenPrefix)
+	}
+	return specs
+}
+
+// isDialToken reports whether tok looks like a name=value gen dial
+// ("div=0.3") rather than the start of a new spec. Dial names are
+// lowercase alphanumerics; builtin abbreviations and the trace:/gen:
+// prefixes never contain '='.
+func isDialToken(tok string) bool {
+	name, _, ok := strings.Cut(tok, "=")
+	if !ok || name == "" {
+		return false
+	}
+	for _, c := range name {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package gscalar_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -22,7 +23,7 @@ const hsCeiling = 3 * time.Second * raceMultiplier
 func TestPerfSmokeHS(t *testing.T) {
 	cfg := gscalar.DefaultConfig()
 	t0 := time.Now()
-	if _, err := gscalar.RunWorkload(cfg, gscalar.GScalar, "HS", 1); err != nil {
+	if _, err := gscalar.RunWorkloadContext(context.Background(), cfg, gscalar.GScalar, "HS", 1); err != nil {
 		t.Fatal(err)
 	}
 	if el := time.Since(t0); el > hsCeiling {

@@ -33,6 +33,9 @@ func TestResultJSONGolden(t *testing.T) {
 		RFAccess: gscalar.RFAccessDist{
 			Scalar: 0.3, B3: 0.1, B2: 0.05, B1: 0.025, None: 0.4, Divergent: 0.125,
 		},
+		InstMix: gscalar.InstMix{
+			ALU: 0.6, SFU: 0.05, Mem: 0.25, Ctrl: 0.1,
+		},
 		CompressionRatio: 1.5,
 		MoveOverhead:     0.004,
 
@@ -51,6 +54,7 @@ func TestResultJSONGolden(t *testing.T) {
 		`"frac_divergent":0.1,"frac_divergent_scalar":0.05,` +
 		`"eligibility":{"alu":0.2,"sfu":0.01,"mem":0.04,"half":0.02,"divergent":0.03},` +
 		`"rf_access":{"scalar":0.3,"b3":0.1,"b2":0.05,"b1":0.025,"none":0.4,"divergent":0.125},` +
+		`"inst_mix":{"alu":0.6,"sfu":0.05,"mem":0.25,"ctrl":0.1},` +
 		`"compression_ratio":1.5,"move_overhead":0.004,` +
 		`"l1_miss_rate":0.375,"dram_transactions":4096,` +
 		`"power_by_component":{"exec_alu":40.25,"static":12.5}}`

@@ -1,31 +1,8 @@
 package gscalar
 
-import "context"
-
 // WarpSizeSweepResult is one point of the Figure 10 warp-size sweep.
 type WarpSizeSweepResult struct {
 	WarpSize  int
 	HalfFrac  float64 // instructions eligible only at the 16-thread granularity
 	TotalFrac float64 // all scalar-eligible instructions
-}
-
-// RunWarpSizeSweep reproduces Figure 10 with a background context.
-//
-// Deprecated: construct a Session with NewSession(cfg, GScalar) and call
-// Session.WarpSizeSweep, which adds cancellation, progress observation, and
-// telemetry. This shim remains for compatibility.
-func RunWarpSizeSweep(cfg Config, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
-	return RunWarpSizeSweepContext(context.Background(), cfg, abbr, warpSizes, scale)
-}
-
-// RunWarpSizeSweepContext reproduces Figure 10 on the G-Scalar architecture.
-//
-// Deprecated: use Session.WarpSizeSweep, which this shim wraps (it pins the
-// architecture to GScalar, as the original free function did).
-func RunWarpSizeSweepContext(ctx context.Context, cfg Config, abbr string, warpSizes []int, scale int) ([]WarpSizeSweepResult, error) {
-	s, err := NewSession(cfg, GScalar)
-	if err != nil {
-		return nil, err
-	}
-	return s.WarpSizeSweep(ctx, abbr, warpSizes, scale)
 }
